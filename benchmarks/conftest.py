@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark
+regenerates one paper artifact (DESIGN.md §4 maps ids to modules) and
+attaches the regenerated rows to ``benchmark.extra_info`` so saved
+benchmark JSON doubles as an experiment archive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reputation.dabr import DAbRModel
+from repro.reputation.dataset import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus_split():
+    return generate_corpus(size=4000, seed=7).split()
+
+
+@pytest.fixture(scope="session")
+def fitted_dabr(corpus_split):
+    train, _ = corpus_split
+    return DAbRModel().fit(train)

@@ -1,0 +1,36 @@
+"""Benches `abl-policy`, `abl-epsilon`, `abl-econ` (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+from repro.bench.ablations import (
+    run_attacker_economics,
+    run_base_offset_ablation,
+    run_epsilon_ablation,
+)
+
+
+def test_base_offset_ablation(benchmark):
+    result = benchmark(run_base_offset_ablation)
+    amplifications = [row[3] for row in result.rows]
+    assert amplifications[-1] > amplifications[0]
+    benchmark.extra_info["amplification_by_base"] = {
+        str(row[0]): round(row[3], 1) for row in result.rows
+    }
+    print()
+    print(result.render())
+
+
+def test_epsilon_ablation(benchmark):
+    result = benchmark(run_epsilon_ablation)
+    stdev0 = [row[2] for row in result.rows]
+    assert stdev0[-1] > stdev0[0], "wider epsilon must add honest variance"
+    print()
+    print(result.render())
+
+
+def test_attacker_economics(benchmark):
+    result = benchmark(run_attacker_economics)
+    break_evens = [row[1] for row in result.rows]
+    assert break_evens == sorted(break_evens)
+    print()
+    print(result.render())

@@ -1,0 +1,48 @@
+"""Bench `acc80`: the DAbR accuracy experiment (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.accuracy import AccuracyConfig, run_accuracy
+from repro.reputation.evaluation import evaluate_model
+
+
+def test_accuracy_experiment(benchmark):
+    result = benchmark(run_accuracy, AccuracyConfig())
+    accuracy = result.extra["dabr_accuracy"]
+    assert accuracy == pytest.approx(0.80, abs=0.06), (
+        "DAbR reproduction should land at the paper's ~80% operating point"
+    )
+    benchmark.extra_info["dabr_accuracy"] = round(accuracy, 4)
+    benchmark.extra_info["dabr_epsilon"] = round(
+        result.extra["dabr_epsilon"], 3
+    )
+    print()
+    print(result.render())
+
+
+def test_dabr_scoring_throughput(benchmark, corpus_split, fitted_dabr):
+    """Single-request scoring cost — the per-request AI overhead."""
+    _, test = corpus_split
+    features = test[0].features
+    score = benchmark(fitted_dabr.score, features)
+    assert 0.0 <= score <= 10.0
+
+
+def test_dabr_fit_cost(benchmark, corpus_split):
+    """Model (re)training cost on the standard corpus."""
+    from repro.reputation.dabr import DAbRModel
+
+    train, _ = corpus_split
+    model = benchmark(lambda: DAbRModel().fit(train))
+    assert model.fitted
+
+
+def test_evaluation_cost(benchmark, corpus_split, fitted_dabr):
+    """Full held-out evaluation pass."""
+    _, test = corpus_split
+    report = benchmark.pedantic(
+        evaluate_model, args=(fitted_dabr, test), iterations=1, rounds=3
+    )
+    assert report.accuracy > 0.7

@@ -1,0 +1,40 @@
+"""Bench `cal31`: the 31 ms calibration claim (DESIGN.md §4).
+
+Covers both worlds: the calibrated model (which must reproduce the
+paper's "31 ms on average for a 1-difficult puzzle") and this machine's
+real solver hash rate (which grounds the model's ``seconds_per_attempt``
+in measured hardware).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.calibration import (
+    CalibrationConfig,
+    measure_hash_rate,
+    run_calibration,
+)
+
+
+def test_calibration_table(benchmark):
+    result = benchmark(run_calibration, CalibrationConfig())
+    one_ms = result.extra["one_difficult_ms"]
+    assert one_ms == pytest.approx(31.0, abs=2.0)
+    means = [row[1] for row in result.rows]
+    assert means == sorted(means), "latency must increase with difficulty"
+    benchmark.extra_info["one_difficult_ms"] = round(one_ms, 2)
+    print()
+    print(result.render())
+
+
+def test_real_hash_rate(benchmark):
+    """Measured evaluations/second of the real solver on this machine."""
+    rate = benchmark.pedantic(
+        measure_hash_rate,
+        kwargs={"sample_difficulty": 11, "repeats": 2},
+        iterations=1,
+        rounds=3,
+    )
+    assert rate > 10_000, "sha256 grinding should exceed 10k/s anywhere"
+    benchmark.extra_info["hash_rate_per_s"] = int(rate)

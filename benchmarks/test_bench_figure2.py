@@ -1,0 +1,59 @@
+"""Bench `fig2`: regenerate the paper's Figure 2 (DESIGN.md §4).
+
+The benchmark times the full 3-policy × 11-score × 30-trial harness and
+archives the regenerated series.  The shape assertions make a silent
+regression (e.g. a policy mapping change) fail the bench, not just skew
+a number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figure2 import Figure2Config, check_shape, run_figure2
+
+
+def test_figure2_modeled(benchmark):
+    """The calibrated reproduction the paper's figure is compared to."""
+    config = Figure2Config()
+    result = benchmark(run_figure2, config)
+    assert check_shape(result) == []
+    benchmark.extra_info["medians_ms"] = {
+        name: [round(v, 1) for v in series]
+        for name, series in result.medians_ms.items()
+    }
+    print()
+    print(result.render_table())
+
+
+def test_figure2_grind_low_scores(benchmark):
+    """Wall-clock variant: real hashing for scores 0..6 of Policy 1/3.
+
+    High Policy 2 scores would grind 2**15 hashes x 30 trials; the
+    modeled bench covers those.  This bench keeps the hardware honest on
+    the low-difficulty half of the figure.
+    """
+    config = Figure2Config(scores=tuple(range(7)), trials=10, mode="grind")
+    result = benchmark.pedantic(
+        run_figure2, args=(config,), iterations=1, rounds=3
+    )
+    for series in result.medians_ms.values():
+        # Every latency includes the configured 30 ms overhead floor.
+        assert all(v >= 29.0 for v in series)
+    benchmark.extra_info["medians_ms"] = {
+        name: [round(v, 1) for v in series]
+        for name, series in result.medians_ms.items()
+    }
+
+
+@pytest.mark.parametrize("policy_index, name", [(0, "policy-1"), (1, "policy-2")])
+def test_figure2_single_policy(benchmark, policy_index, name):
+    """Per-policy timing split of the harness."""
+    from repro.policies import paper_policies
+
+    policy = paper_policies()[policy_index]
+    config = Figure2Config(trials=30)
+    result = benchmark(run_figure2, config, [policy])
+    assert name in result.medians_ms
+    series = result.medians_ms[name]
+    assert series[-1] >= series[0]

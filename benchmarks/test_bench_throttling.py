@@ -1,0 +1,24 @@
+"""Bench `throttle`: the abstract's throttling claim (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from repro.bench.throttling import ThrottlingConfig, run_throttling
+
+
+def test_throttling_comparison(benchmark):
+    config = ThrottlingConfig(
+        benign_clients=12, attacker_bots=8, duration=15.0, corpus_size=2000
+    )
+    result = benchmark.pedantic(
+        run_throttling, args=(config,), iterations=1, rounds=2
+    )
+    rows = {(row[0], row[1]): row for row in result.rows}
+    ai_malicious_ms = rows[("ai-pow", "malicious")][5]
+    nodef_malicious_ms = rows[("no-defense", "malicious")][5]
+    assert ai_malicious_ms > 10 * nodef_malicious_ms
+    benchmark.extra_info["ai_malicious_median_ms"] = round(ai_malicious_ms, 1)
+    benchmark.extra_info["benign_median_ms"] = round(
+        rows[("ai-pow", "benign")][5], 1
+    )
+    print()
+    print(result.render())

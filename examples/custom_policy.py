@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Operator-defined policies via the declarative DSL.
+
+The paper's framework is "policy driven": a network administrator
+specifies the reputation→difficulty rule as data.  This example defines
+a three-band security posture in JSON, loads it, charts it against the
+paper's Policy 2, and shows the same spec wrapped with an emergency
+clamp — all without writing a policy class.
+
+Run:  python examples/custom_policy.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.metrics.reporting import render_series
+from repro.policies import build_policy, dump_policy_json, policy_2
+
+# A posture an operator might actually deploy: free tier for clearly
+# trusted clients, a modest tax for the grey zone, and a wall for
+# clearly hostile scores - with an emergency cap at difficulty 18.
+POSTURE_JSON = """
+{
+  "kind": "clamp", "low": 0, "high": 18,
+  "inner": {
+    "kind": "max",
+    "members": [
+      {"kind": "stepwise", "thresholds": [3.0, 8.0],
+       "difficulties": [0, 6, 16], "name": "three-bands"},
+      {"kind": "linear", "base": 0, "slope": 0.5, "name": "slow-floor"}
+    ]
+  }
+}
+"""
+
+
+def main() -> None:
+    posture = build_policy(json.loads(POSTURE_JSON))
+    reference = policy_2()
+    rng = random.Random(7)
+
+    scores = list(range(11))
+    series = {
+        posture.name: [
+            float(posture.difficulty_for(s, rng)) for s in scores
+        ],
+        reference.name: [
+            float(reference.difficulty_for(s, rng)) for s in scores
+        ],
+    }
+    print(
+        render_series(
+            "score",
+            scores,
+            series,
+            title="difficulty by reputation score: custom posture vs policy-2",
+        )
+    )
+
+    print("\nround-trip: the loaded policy serialises back to JSON:")
+    print(dump_policy_json(posture))
+
+    print(
+        "\nInterpretation: the custom posture is free below score 3 "
+        "(no puzzle at all), while policy-2 taxes even perfect clients "
+        "5 difficulty bits - the DSL lets operators encode exactly the "
+        "trade-off their network needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""DDoS mitigation scenario: the paper's motivating workload.
+
+A mixed population — ordinary users plus a solving botnet — floods a
+server.  We replay the identical workload through three defenses and
+compare per-class outcomes:
+
+  1. no-defense   (serve everything)
+  2. uniform-pow  (classic PoW: same puzzle for everyone)
+  3. ai-pow       (the paper: DAbR + Policy 2 adaptive issuer)
+
+Run:  python examples/ddos_mitigation.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import BotnetAttacker
+from repro.bench.throttling import ThrottlingConfig, run_throttling
+
+
+def main() -> None:
+    attacker = BotnetAttacker()
+    config = ThrottlingConfig(
+        benign_clients=20,
+        attacker_bots=12,
+        duration=20.0,
+        attacker_max_difficulty=attacker.max_difficulty,
+    )
+    print(
+        f"simulating {config.benign_clients} benign clients vs "
+        f"{config.attacker_bots} bots for {config.duration:.0f}s "
+        "(three defense setups) ...\n"
+    )
+    result = run_throttling(config)
+    print(result.render())
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    amplification = (
+        rows[("ai-pow", "malicious")][5] / rows[("ai-pow", "benign")][5]
+    )
+    uniform_amp = (
+        rows[("uniform-pow", "malicious")][5]
+        / rows[("uniform-pow", "benign")][5]
+    )
+    print(
+        f"\nlatency amplification (malicious / benign median):"
+        f"\n  uniform-pow : {uniform_amp:6.1f}x   (taxes everyone equally)"
+        f"\n  ai-pow      : {amplification:6.1f}x   (taxes only the attack)"
+    )
+    print(
+        "\nThe adaptive issuer throttles the attack while honest "
+        "clients keep near-baseline latency - the abstract's claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

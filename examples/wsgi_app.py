@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Protect a real web app: the framework as WSGI middleware.
+
+Wraps a tiny WSGI application with :class:`PowMiddleware`, serves it
+with the standard library's ``wsgiref`` on a loopback port, and walks
+an HTTP client through the 429-challenge / solve / retry flow using
+nothing but ``http.client``.
+
+Run:  python examples/wsgi_app.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from wsgiref.simple_server import WSGIServer, make_server
+
+from repro import AIPoWFramework, DAbRModel, generate_corpus, policy_1
+from repro.net.wsgi import PUZZLE_HEADER, PowMiddleware, solve_challenge_headers
+from repro.reputation.dataset import synthesize_features
+
+
+def application(environ, start_response):
+    """The app being protected."""
+    body = f"hello from {environ['PATH_INFO']}\n".encode()
+    start_response(
+        "200 OK",
+        [("Content-Type", "text/plain"), ("Content-Length", str(len(body)))],
+    )
+    return [body]
+
+
+class _QuietServer(WSGIServer):
+    def handle_error(self, request, client_address):  # noqa: D102
+        pass
+
+
+def main() -> None:
+    print("training DAbR and mounting the middleware ...")
+    train, _ = generate_corpus(size=3000, seed=7).split()
+    framework = AIPoWFramework(DAbRModel().fit(train), policy_1())
+    protected = PowMiddleware(application, framework)
+
+    server = make_server(
+        "127.0.0.1", 0, protected, server_class=_QuietServer
+    )
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"serving on http://{host}:{port}\n")
+
+    try:
+        import random
+
+        rng = random.Random(3)
+        for label, intensity in (("trusted", 0.1), ("suspicious", 0.85)):
+            features = synthesize_features(intensity, rng)
+            headers = {"X-PoW-Features": json.dumps(features)}
+
+            # First request: expect the challenge.
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/index.html", headers=headers)
+            challenge = conn.getresponse()
+            challenge.read()
+            puzzle_frame = challenge.getheader(PUZZLE_HEADER)
+            conn.close()
+            assert challenge.status == 429 and puzzle_frame
+
+            # Solve and retry.
+            started = time.perf_counter()
+            retry_headers = dict(headers)
+            retry_headers.update(
+                solve_challenge_headers(puzzle_frame, "127.0.0.1")
+            )
+            solve_ms = (time.perf_counter() - started) * 1000
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/index.html", headers=retry_headers)
+            final = conn.getresponse()
+            body = final.read().decode().strip()
+            conn.close()
+
+            difficulty = puzzle_frame.split(" ")[4]
+            print(
+                f"{label:>10}: 429 -> difficulty {difficulty} -> solved in "
+                f"{solve_ms:6.1f} ms -> {final.status} {body!r}"
+            )
+    finally:
+        server.shutdown()
+
+    print(
+        "\nThe same two-round-trip exchange as the paper's Figure 1, "
+        "carried entirely in standard HTTP headers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — A Policy Driven AI-Assisted PoW Framework (DSN 2022).
+
+A faithful, fully-offline reproduction of Chakraborty, Mitra, Mittal and
+Young's AI-assisted Proof-of-Work framework.  The package implements the
+paper's five components — the AI reputation model, the policy module,
+puzzle generation, puzzle solving and puzzle verification — plus the
+substrates needed to reproduce its evaluation: a synthetic
+threat-intelligence corpus, a discrete-event network simulator, traffic
+and attack generators, and the benchmark harness regenerating Figure 2.
+
+Quickstart
+----------
+>>> from repro import (
+...     AIPoWFramework, ClientRequest, DAbRModel, HashSolver,
+...     generate_corpus, policy_2,
+... )
+>>> train, _ = generate_corpus(size=1500, seed=7).split()
+>>> framework = AIPoWFramework(DAbRModel().fit(train), policy_2())
+>>> example = train[0]
+>>> request = ClientRequest(
+...     client_ip=example.ip, resource="/index.html",
+...     timestamp=0.0, features=example.features,
+... )
+>>> response = framework.process(request, HashSolver())
+>>> response.served
+True
+"""
+
+from repro.core import (
+    AIPoWFramework,
+    Challenge,
+    ClientRequest,
+    EventBus,
+    EventKind,
+    FrameworkConfig,
+    IssuerDecision,
+    PowConfig,
+    ResponseStatus,
+    ServedResponse,
+    TimingConfig,
+)
+from repro.policies import (
+    ErrorRangePolicy,
+    LinearPolicy,
+    build_policy,
+    paper_policies,
+    policy_1,
+    policy_2,
+    policy_3,
+)
+from repro.pow import (
+    HashSolver,
+    Puzzle,
+    PuzzleGenerator,
+    PuzzleVerifier,
+    SampledSolver,
+    Solution,
+)
+from repro.reputation import (
+    DAbRModel,
+    KNNReputationModel,
+    evaluate_model,
+    generate_corpus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AIPoWFramework",
+    "Challenge",
+    "FrameworkConfig",
+    "PowConfig",
+    "TimingConfig",
+    "ClientRequest",
+    "IssuerDecision",
+    "ResponseStatus",
+    "ServedResponse",
+    "EventBus",
+    "EventKind",
+    "DAbRModel",
+    "KNNReputationModel",
+    "generate_corpus",
+    "evaluate_model",
+    "LinearPolicy",
+    "ErrorRangePolicy",
+    "policy_1",
+    "policy_2",
+    "policy_3",
+    "paper_policies",
+    "build_policy",
+    "Puzzle",
+    "Solution",
+    "PuzzleGenerator",
+    "PuzzleVerifier",
+    "HashSolver",
+    "SampledSolver",
+]

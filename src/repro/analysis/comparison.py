@@ -1,0 +1,63 @@
+"""Side-by-side analytic comparison of policies.
+
+Produces the administrator's decision table: for each candidate policy,
+the honest tax (latency at score 0), the attacker throttle (latency at
+score 10), the amplification ratio, and the expected per-request work
+inflicted on a score-10 client — all from the closed-form model, no
+simulation required.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.latency import latency_quantile, mean_latency
+from repro.bench.results import ExperimentResult
+from repro.core.config import TimingConfig
+from repro.core.interfaces import Policy
+from repro.analysis.latency import difficulty_distribution
+
+__all__ = ["compare_policies"]
+
+
+def compare_policies(
+    policies: Sequence[Policy],
+    timing: TimingConfig | None = None,
+) -> ExperimentResult:
+    """Analytic comparison table across ``policies``."""
+    if not policies:
+        raise ValueError("need at least one policy")
+    timing = timing or TimingConfig()
+    rows = []
+    for policy in policies:
+        honest_ms = latency_quantile(policy, 0.0, 0.5, timing) * 1000.0
+        hostile_ms = latency_quantile(policy, 10.0, 0.5, timing) * 1000.0
+        hostile_mean_ms = mean_latency(policy, 10.0, timing) * 1000.0
+        tail_ms = latency_quantile(policy, 10.0, 0.99, timing) * 1000.0
+        distribution = difficulty_distribution(policy, 10.0)
+        expected_work = sum(w * 2.0**d for d, w in distribution.items())
+        rows.append(
+            [
+                policy.name,
+                honest_ms,
+                hostile_ms,
+                hostile_ms / honest_ms if honest_ms else float("inf"),
+                hostile_mean_ms,
+                tail_ms,
+                expected_work,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="policy-compare",
+        title="Analytic policy comparison (closed-form latency model)",
+        headers=[
+            "policy", "honest_median_ms", "score10_median_ms",
+            "amplification", "score10_mean_ms", "score10_p99_ms",
+            "score10_expected_hashes",
+        ],
+        rows=rows,
+        notes=[
+            f"timing: overhead={timing.network_overhead * 1000:.1f}ms, "
+            f"{timing.seconds_per_attempt * 1e6:.1f}us/attempt",
+        ],
+    )

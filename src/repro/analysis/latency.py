@@ -1,0 +1,146 @@
+"""Closed-form latency analytics for policies.
+
+The simulator *samples* the latency distribution; this module computes
+it.  For a ``d``-difficult puzzle the attempt count is geometric with
+``p = 2**-d``, so end-to-end latency is ``overhead + attempts/rate``
+with fully known distribution.  For randomized policies (Policy 3) the
+latency is a uniform mixture over the difficulty interval; mean and any
+quantile of the mixture are computed exactly (quantile by bisection on
+the mixture CDF).
+
+These curves are what the Figure 2 samples converge to — the
+`test_analysis_matches_simulation` tests pin that agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.config import TimingConfig
+from repro.core.interfaces import Policy
+from repro.policies.error_range import ErrorRangePolicy
+
+__all__ = [
+    "difficulty_distribution",
+    "mean_latency",
+    "latency_quantile",
+    "latency_curve",
+]
+
+
+def difficulty_distribution(
+    policy: Policy, score: float
+) -> dict[int, float]:
+    """The policy's difficulty distribution at ``score``.
+
+    Exact for the built-in deterministic policies and for
+    :class:`ErrorRangePolicy` (uniform over its integer interval).
+    Policies outside those classes are assumed deterministic and probed
+    once with a throwaway RNG.
+    """
+    if isinstance(policy, ErrorRangePolicy):
+        low, high = policy.interval(score)
+        count = high - low + 1
+        return {d: 1.0 / count for d in range(low, high + 1)}
+    import random
+
+    probe = random.Random(0)
+    first = policy.difficulty_for(score, probe)
+    # A deterministic policy returns the same value for any RNG state.
+    second = policy.difficulty_for(score, random.Random(1))
+    if first != second:
+        raise ValueError(
+            f"policy {policy.name!r} is randomized but not an "
+            "ErrorRangePolicy; no closed form available"
+        )
+    return {first: 1.0}
+
+
+def _geometric_cdf(attempts: float, difficulty: int) -> float:
+    """P(geometric(2**-d) <= attempts)."""
+    if attempts < 1:
+        return 0.0
+    if difficulty == 0:
+        return 1.0
+    p = 2.0**-difficulty
+    return -math.expm1(math.floor(attempts) * math.log1p(-p))
+
+
+def mean_latency(
+    policy: Policy, score: float, timing: TimingConfig | None = None
+) -> float:
+    """Exact expected latency (seconds) at ``score``."""
+    timing = timing or TimingConfig()
+    distribution = difficulty_distribution(policy, score)
+    expected_attempts = sum(
+        weight * 2.0**d for d, weight in distribution.items()
+    )
+    return (
+        timing.network_overhead
+        + timing.server_processing
+        + expected_attempts * timing.seconds_per_attempt
+    )
+
+
+def latency_quantile(
+    policy: Policy,
+    score: float,
+    q: float,
+    timing: TimingConfig | None = None,
+) -> float:
+    """Exact ``q``-quantile of the latency distribution at ``score``.
+
+    Computed by bisection on the mixture CDF of attempt counts.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    timing = timing or TimingConfig()
+    distribution = difficulty_distribution(policy, score)
+
+    def cdf(attempts: float) -> float:
+        return sum(
+            weight * _geometric_cdf(attempts, d)
+            for d, weight in distribution.items()
+        )
+
+    low, high = 1.0, 2.0
+    while cdf(high) < q:
+        high *= 2.0
+        if high > 2**80:  # unreachable for sane difficulties
+            break
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if cdf(mid) < q:
+            low = mid
+        else:
+            high = mid
+    attempts = high
+    return (
+        timing.network_overhead
+        + timing.server_processing
+        + attempts * timing.seconds_per_attempt
+    )
+
+
+def latency_curve(
+    policy: Policy,
+    scores: Sequence[float] = tuple(range(11)),
+    timing: TimingConfig | None = None,
+    statistic: str = "median",
+) -> list[float]:
+    """The analytic Figure 2 series (milliseconds) for one policy.
+
+    ``statistic`` is ``"mean"`` or ``"median"``.
+    """
+    timing = timing or TimingConfig()
+    if statistic == "mean":
+        return [
+            mean_latency(policy, s, timing) * 1000.0 for s in scores
+        ]
+    if statistic == "median":
+        return [
+            latency_quantile(policy, s, 0.5, timing) * 1000.0
+            for s in scores
+        ]
+    raise ValueError(f"statistic must be 'mean' or 'median', got {statistic!r}")

@@ -1,0 +1,117 @@
+"""Policy synthesis: from latency objectives to a concrete policy.
+
+The paper leaves policy choice to the administrator.  In practice the
+administrator thinks in *latency budgets* ("trusted clients must stay
+under 50 ms; score-10 clients should wait ~1 s"), not difficulty bits.
+This module inverts the latency model:
+
+* :func:`difficulty_for_latency` — the difficulty whose chosen latency
+  statistic best approximates a target;
+* :func:`synthesize_table_policy` — a per-score difficulty table from a
+  per-score latency budget (monotonicity repaired, against the client);
+* :func:`price_out_policy` — the minimal linear policy that prices out
+  a given attacker budget at and above a chosen score threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.attacks.adaptive import AdaptiveAttacker
+from repro.core.config import TimingConfig
+from repro.policies.linear import LinearPolicy
+from repro.policies.table import TablePolicy
+from repro.pow.difficulty import expected_attempts, median_attempts
+
+__all__ = [
+    "difficulty_for_latency",
+    "synthesize_table_policy",
+    "price_out_policy",
+]
+
+
+def difficulty_for_latency(
+    target_seconds: float,
+    timing: TimingConfig | None = None,
+    statistic: str = "median",
+    max_difficulty: int = 40,
+) -> int:
+    """The difficulty whose latency statistic is closest to the target.
+
+    ``statistic`` is ``"median"`` (what Figure 2 plots) or ``"mean"``.
+    Targets at or below the fixed overhead map to difficulty 0.
+    """
+    timing = timing or TimingConfig()
+    if target_seconds <= 0:
+        raise ValueError(f"target must be > 0, got {target_seconds}")
+    if statistic not in ("median", "mean"):
+        raise ValueError(f"unknown statistic {statistic!r}")
+    floor = timing.network_overhead + timing.server_processing
+    budget = target_seconds - floor
+    if budget <= timing.seconds_per_attempt:
+        return 0
+
+    def stat_seconds(d: int) -> float:
+        attempts = (
+            median_attempts(d) if statistic == "median" else expected_attempts(d)
+        )
+        return attempts * timing.seconds_per_attempt
+
+    best = 0
+    best_error = abs(math.log(stat_seconds(0) / budget)) if budget > 0 else 0.0
+    for d in range(1, max_difficulty + 1):
+        error = abs(math.log(stat_seconds(d) / budget))
+        if error < best_error:
+            best, best_error = d, error
+    return best
+
+
+def synthesize_table_policy(
+    target_latencies_seconds: Sequence[float],
+    timing: TimingConfig | None = None,
+    statistic: str = "median",
+    name: str | None = None,
+) -> TablePolicy:
+    """Build a table policy hitting a per-score latency budget.
+
+    ``target_latencies_seconds[i]`` is the budget for integer score
+    ``i``.  Non-monotone targets are repaired upward (a worse client
+    never gets an easier puzzle), matching the invariant
+    :class:`TablePolicy` enforces.
+    """
+    if len(target_latencies_seconds) < 2:
+        raise ValueError("need a target per score (at least two scores)")
+    timing = timing or TimingConfig()
+    entries: list[int] = []
+    for target in target_latencies_seconds:
+        entries.append(difficulty_for_latency(target, timing, statistic))
+    for i in range(1, len(entries)):
+        entries[i] = max(entries[i], entries[i - 1])
+    return TablePolicy(entries, name=name or "synthesized")
+
+
+def price_out_policy(
+    attacker: AdaptiveAttacker,
+    threshold_score: float = 8.0,
+    timing: TimingConfig | None = None,
+    name: str | None = None,
+) -> LinearPolicy:
+    """The gentlest linear policy pricing out ``attacker`` above a score.
+
+    Chooses the smallest base offset such that every score at or above
+    ``threshold_score`` is assigned a difficulty strictly beyond the
+    attacker's break-even — i.e. a rational adversary scoring there
+    walks away.
+    """
+    if not 0.0 <= threshold_score <= 10.0:
+        raise ValueError(
+            f"threshold_score must be in [0, 10], got {threshold_score}"
+        )
+    break_even = attacker.break_even_difficulty()
+    needed = break_even + 1
+    base = max(0, needed - math.ceil(threshold_score))
+    return LinearPolicy(
+        base=base,
+        name=name or f"price-out(base={base})",
+    )

@@ -1,0 +1,146 @@
+"""Workload and audit-log analytics.
+
+Post-hoc tooling for the two replayable artifacts the library produces:
+traces (what was offered) and audit logs (what the issuer decided).
+
+* :func:`summarize_trace` — per-profile offered load, rates, score
+  distribution of a workload before it ever hits a server.
+* :func:`summarize_audit` — per-client decision statistics from an
+  audit log: how hard each address was puzzled, with what outcomes.
+* :func:`diff_audits` — decision drift between two audit logs over the
+  same workload (e.g. before/after a policy change): per-client mean
+  difficulty delta, sorted by impact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.results import ExperimentResult
+from repro.core.audit import AuditRecord
+from repro.metrics.stats import StreamingStats
+from repro.traffic.trace import Trace
+
+__all__ = ["summarize_trace", "summarize_audit", "diff_audits"]
+
+
+def summarize_trace(trace: Trace) -> ExperimentResult:
+    """Per-profile composition of a workload."""
+    if len(trace) == 0:
+        raise ValueError("cannot summarize an empty trace")
+    duration = max(trace.duration(), 1e-9)
+    rows = []
+    for profile, entries in sorted(trace.by_profile().items()):
+        scores = StreamingStats()
+        clients = set()
+        for entry in entries:
+            scores.add(entry.true_score)
+            clients.add(entry.request.client_ip)
+        rows.append(
+            [
+                profile,
+                len(entries),
+                len(clients),
+                len(entries) / duration,
+                scores.mean,
+                scores.max,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="trace-summary",
+        title=f"Workload summary - {len(trace)} requests over "
+        f"{trace.duration():.1f}s",
+        headers=[
+            "profile", "requests", "clients", "req_per_s",
+            "mean_true_score", "max_true_score",
+        ],
+        rows=rows,
+    )
+
+
+def summarize_audit(records: Iterable[AuditRecord]) -> ExperimentResult:
+    """Per-client decision statistics from audit records."""
+    per_ip: dict[str, dict[str, StreamingStats]] = {}
+    outcomes: dict[str, dict[str, int]] = {}
+    for record in records:
+        stats = per_ip.setdefault(
+            record.client_ip,
+            {"difficulty": StreamingStats(), "score": StreamingStats()},
+        )
+        if record.kind == "challenge":
+            stats["difficulty"].add(record.difficulty)
+            stats["score"].add(record.score)
+        elif record.kind == "response":
+            counts = outcomes.setdefault(record.client_ip, {})
+            counts[record.status] = counts.get(record.status, 0) + 1
+
+    if not per_ip:
+        raise ValueError("no audit records to summarize")
+    rows = []
+    for ip in sorted(per_ip):
+        stats = per_ip[ip]
+        counts = outcomes.get(ip, {})
+        served = counts.get("served", 0)
+        total = sum(counts.values())
+        rows.append(
+            [
+                ip,
+                stats["difficulty"].count,
+                stats["score"].mean,
+                stats["difficulty"].mean,
+                stats["difficulty"].max,
+                served / total if total else 0.0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="audit-summary",
+        title=f"Audit summary - {len(rows)} clients",
+        headers=[
+            "client_ip", "challenges", "mean_score",
+            "mean_difficulty", "max_difficulty", "served_fraction",
+        ],
+        rows=rows,
+    )
+
+
+def diff_audits(
+    before: Iterable[AuditRecord],
+    after: Iterable[AuditRecord],
+    top: int = 20,
+) -> ExperimentResult:
+    """Per-client mean-difficulty drift between two audit logs.
+
+    Positive delta = the client got harder puzzles in ``after``.
+    Clients present in only one log are skipped (no comparison basis).
+    """
+
+    def mean_difficulties(records: Iterable[AuditRecord]) -> dict[str, float]:
+        acc: dict[str, StreamingStats] = {}
+        for record in records:
+            if record.kind == "challenge":
+                acc.setdefault(record.client_ip, StreamingStats()).add(
+                    record.difficulty
+                )
+        return {ip: stats.mean for ip, stats in acc.items()}
+
+    before_means = mean_difficulties(before)
+    after_means = mean_difficulties(after)
+    shared = sorted(set(before_means) & set(after_means))
+    if not shared:
+        raise ValueError("the audit logs share no clients")
+    deltas = [
+        (ip, before_means[ip], after_means[ip], after_means[ip] - before_means[ip])
+        for ip in shared
+    ]
+    deltas.sort(key=lambda row: abs(row[3]), reverse=True)
+    rows = [list(row) for row in deltas[:top]]
+    return ExperimentResult(
+        experiment_id="audit-diff",
+        title=(
+            f"Audit diff - {len(shared)} shared clients, "
+            f"top {min(top, len(shared))} by |delta|"
+        ),
+        headers=["client_ip", "mean_d_before", "mean_d_after", "delta"],
+        rows=rows,
+        extra={"shared_clients": len(shared)},
+    )

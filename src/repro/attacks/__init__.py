@@ -1,0 +1,21 @@
+"""Attack models: adversaries for the throttling experiments."""
+
+from repro.attacks.adaptive import AdaptiveAttacker
+from repro.attacks.base import AttackerModel
+from repro.attacks.botnet import BotnetAttacker
+from repro.attacks.flood import FloodAttacker
+from repro.attacks.protocol_attacks import (
+    AttackOutcome,
+    PrecomputationAttacker,
+    ReplayAttacker,
+)
+
+__all__ = [
+    "AttackerModel",
+    "FloodAttacker",
+    "BotnetAttacker",
+    "AdaptiveAttacker",
+    "AttackOutcome",
+    "PrecomputationAttacker",
+    "ReplayAttacker",
+]

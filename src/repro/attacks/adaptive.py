@@ -1,0 +1,71 @@
+"""Cost-aware adaptive attacker.
+
+A rational adversary compares the expected solve cost of a puzzle
+against the value of one served response and walks away when the
+exchange is unprofitable.  :class:`AdaptiveAttacker` encodes that
+break-even rule: with hash rate ``h`` (evaluations/second), a
+``d``-difficult puzzle costs ``2**d / h`` seconds in expectation, and
+the attacker solves only while that stays below its per-request value.
+
+The ablation benches use this adversary to locate the difficulty at
+which a given attacker economy collapses — the operational question a
+network administrator tunes a policy around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.pow.difficulty import expected_attempts
+from repro.traffic.profiles import STEALTH_PROFILE, ClientProfile
+
+__all__ = ["AdaptiveAttacker"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AdaptiveAttacker:
+    """Solves while expected solve seconds ≤ value_per_request.
+
+    Parameters
+    ----------
+    profile:
+        Traffic footprint; defaults to the stealthy profile (which is
+        what a cost-aware adversary would choose).
+    value_per_request:
+        Seconds of CPU the adversary is willing to burn per served
+        response.
+    hash_rate:
+        Bot hash rate in evaluations/second.
+    """
+
+    profile: ClientProfile = STEALTH_PROFILE
+    value_per_request: float = 0.25
+    hash_rate: float = 37_000.0
+
+    def __post_init__(self) -> None:
+        if self.value_per_request <= 0:
+            raise ValueError(
+                f"value_per_request must be > 0, got {self.value_per_request}"
+            )
+        if self.hash_rate <= 0:
+            raise ValueError(f"hash_rate must be > 0, got {self.hash_rate}")
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def break_even_difficulty(self) -> int:
+        """Largest difficulty still worth solving."""
+        d = 0
+        while (
+            expected_attempts(d + 1) / self.hash_rate <= self.value_per_request
+        ):
+            d += 1
+        return d
+
+    def expected_cost_seconds(self, difficulty: int) -> float:
+        """Expected CPU seconds to solve one ``difficulty`` puzzle."""
+        return expected_attempts(difficulty) / self.hash_rate
+
+    def should_solve(self, difficulty: int) -> bool:
+        return self.expected_cost_seconds(difficulty) <= self.value_per_request

@@ -1,0 +1,39 @@
+"""Attacker model scaffolding.
+
+An attacker model bundles the pieces the simulator needs to represent
+one adversary class: a :class:`~repro.traffic.profiles.ClientProfile`
+describing its traffic footprint, plus a *solve decider* — the
+adversary's reaction to being handed a puzzle of a given difficulty.
+
+The decider is the economically interesting bit: PoW defenses win by
+making the attacker's cost-per-served-request exceed its budget, and
+each concrete attacker in this package encodes a different budget
+strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.traffic.profiles import ClientProfile
+
+__all__ = ["AttackerModel"]
+
+
+@runtime_checkable
+class AttackerModel(Protocol):
+    """The contract the simulator consumes for adversaries."""
+
+    @property
+    def name(self) -> str:
+        """Attacker class name (used as metrics breakdown key)."""
+        ...
+
+    @property
+    def profile(self) -> ClientProfile:
+        """Traffic footprint of this adversary's clients."""
+        ...
+
+    def should_solve(self, difficulty: int) -> bool:
+        """The adversary's decision when handed a ``difficulty`` puzzle."""
+        ...

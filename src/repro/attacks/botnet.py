@@ -1,0 +1,51 @@
+"""Solving botnet: an adversary that pays for service.
+
+A botnet attacker *does* solve puzzles — it wants responses (e.g. to
+exhaust an application-layer resource) and has real CPU to spend.  Its
+constraint is a per-bot difficulty budget: above ``max_difficulty`` the
+expected solve time is no longer worth the response, so the bot drops
+the puzzle.
+
+This is the adversary the adaptive issuer throttles *gradually*: each
+served attack request costs ``~2**d`` hash evaluations, and because a
+bot's CPU serialises grinding, its served-request rate collapses as the
+policy raises ``d`` — the latency-amplification effect of Figure 2 seen
+from the attacker's side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.traffic.profiles import MALICIOUS_PROFILE, ClientProfile
+
+__all__ = ["BotnetAttacker"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BotnetAttacker:
+    """Solves puzzles up to a difficulty budget.
+
+    Parameters
+    ----------
+    profile:
+        Traffic footprint; defaults to the malicious profile.
+    max_difficulty:
+        Hardest puzzle a bot will grind before dropping the exchange.
+    """
+
+    profile: ClientProfile = MALICIOUS_PROFILE
+    max_difficulty: int = 18
+
+    def __post_init__(self) -> None:
+        if self.max_difficulty < 0:
+            raise ValueError(
+                f"max_difficulty must be >= 0, got {self.max_difficulty}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def should_solve(self, difficulty: int) -> bool:
+        return difficulty <= self.max_difficulty

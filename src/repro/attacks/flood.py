@@ -1,0 +1,32 @@
+"""Pure request flood: the classic volumetric DDoS.
+
+A flood attacker maximises request volume and never spends CPU on
+puzzles — its goal is to exhaust the *server*, not to get responses.
+Against an undefended server this works (every request triggers the
+expensive resource path); against the PoW framework every flood request
+dies at the cheap challenge step, which is the paper's headline defense
+story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.traffic.profiles import MALICIOUS_PROFILE, ClientProfile
+
+__all__ = ["FloodAttacker"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FloodAttacker:
+    """Never solves; floods requests at the profile's rate."""
+
+    profile: ClientProfile = MALICIOUS_PROFILE
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def should_solve(self, difficulty: int) -> bool:
+        """A flood never greets the puzzle with CPU; difficulty 0 is free."""
+        return difficulty == 0

@@ -1,0 +1,178 @@
+"""Protocol-level attacks against the PoW exchange itself.
+
+The volumetric attackers in this package attack the *server's
+resources*; these attack the *protocol*:
+
+* **Pre-computation** (:class:`PrecomputationAttacker`) — grind
+  solutions for *predicted* future puzzles before they are issued.  The
+  paper's unique unpredictable seed exists precisely to break this; the
+  attack succeeds against a predictable seed source and fails against
+  the CSPRNG one, which the security tests assert.
+* **Replay** (:class:`ReplayAttacker`) — capture a valid
+  (puzzle, solution) pair and redeem it repeatedly.  Defeated by the
+  verifier's replay cache.
+
+Each attack is a small driver returning an :class:`AttackOutcome`, so
+tests and docs can state the security property as an executable fact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.errors import PuzzleError, ReplayedSolutionError
+from repro.pow.generator import PuzzleGenerator
+from repro.pow.puzzle import Puzzle, Solution
+from repro.pow.solver import HashSolver
+from repro.pow.verifier import PuzzleVerifier
+
+__all__ = ["AttackOutcome", "PrecomputationAttacker", "ReplayAttacker"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AttackOutcome:
+    """Result of one protocol attack attempt."""
+
+    attack: str
+    succeeded: bool
+    detail: str
+
+
+class PrecomputationAttacker:
+    """Predicts future puzzle seeds and grinds their solutions early.
+
+    The attacker observes ``observations`` issued puzzles, extrapolates
+    the next seed by assuming a counter-like generator, pre-solves the
+    predicted puzzle, then waits for the real issuance and submits the
+    precomputed nonce.
+
+    Parameters
+    ----------
+    client_ip:
+        The address the attacker controls (puzzles are IP-bound, so the
+        attack targets its own future puzzles — e.g. to amortise work
+        before a flood).
+    """
+
+    def __init__(self, client_ip: str = "110.66.7.8") -> None:
+        self.client_ip = client_ip
+        self._solver = HashSolver()
+
+    @staticmethod
+    def predict_next_seed(observed: list[str]) -> str | None:
+        """Extrapolate the next seed from observed hex seeds.
+
+        Counter-based sources are perfectly predictable; CSPRNG seeds
+        produce no usable pattern (prediction is just last + 1, which
+        will be wrong with overwhelming probability).
+        """
+        if not observed:
+            return None
+        width = len(observed[-1])
+        last = int(observed[-1], 16)
+        return format(last + 1, f"0{width}x")
+
+    def run(
+        self,
+        generator: PuzzleGenerator,
+        verifier: PuzzleVerifier,
+        observations: int = 3,
+        difficulty: int = 8,
+    ) -> AttackOutcome:
+        """Observe, predict, pre-solve, then redeem against the real puzzle."""
+        observed = [
+            generator.issue(self.client_ip, difficulty, now=float(i)).seed
+            for i in range(observations)
+        ]
+        predicted_seed = self.predict_next_seed(observed)
+        if predicted_seed is None:
+            return AttackOutcome(
+                "precomputation", False, "no observations to predict from"
+            )
+
+        # Pre-solve the predicted puzzle.  The attacker must also guess
+        # the issue timestamp; assume it knows the server clock exactly
+        # (strongest reasonable attacker).
+        issue_time = float(observations)
+        predicted = Puzzle(
+            seed=predicted_seed,
+            timestamp=issue_time,
+            difficulty=difficulty,
+            algorithm=generator.config.hash_algorithm,
+        )
+        precomputed = self._solver.solve(predicted, self.client_ip)
+
+        # The real puzzle is issued; submit the precomputed nonce.
+        real = generator.issue(self.client_ip, difficulty, now=issue_time)
+        if real.seed != predicted_seed:
+            return AttackOutcome(
+                "precomputation",
+                False,
+                f"seed prediction failed ({predicted_seed[:8]}... vs "
+                f"{real.seed[:8]}...): unique unpredictable seeds defeat "
+                "pre-computation",
+            )
+        submission = Solution(
+            puzzle_seed=real.seed,
+            nonce=precomputed.nonce,
+            attempts=precomputed.attempts,
+        )
+        try:
+            verifier.verify(real, submission, self.client_ip, now=issue_time)
+        except PuzzleError as exc:
+            return AttackOutcome(
+                "precomputation", False, f"verifier rejected: {exc}"
+            )
+        return AttackOutcome(
+            "precomputation",
+            True,
+            "predictable seeds allowed work to be done before issuance",
+        )
+
+
+class ReplayAttacker:
+    """Redeems one honestly-solved puzzle as many times as possible."""
+
+    def __init__(self, client_ip: str = "110.66.9.9") -> None:
+        self.client_ip = client_ip
+        self._solver = HashSolver()
+
+    def run(
+        self,
+        generator: PuzzleGenerator,
+        verifier: PuzzleVerifier,
+        attempts: int = 5,
+        difficulty: int = 6,
+    ) -> AttackOutcome:
+        """Solve once, redeem ``attempts`` times."""
+        if attempts < 2:
+            raise ValueError(f"attempts must be >= 2, got {attempts}")
+        puzzle = generator.issue(self.client_ip, difficulty, now=0.0)
+        solution = self._solver.solve(puzzle, self.client_ip)
+
+        accepted = 0
+        for i in range(attempts):
+            try:
+                verifier.verify(
+                    puzzle, solution, self.client_ip, now=0.1 * (i + 1)
+                )
+                accepted += 1
+            except ReplayedSolutionError:
+                continue
+            except PuzzleError as exc:  # pragma: no cover - unexpected
+                return AttackOutcome(
+                    "replay", False, f"unexpected rejection: {exc}"
+                )
+        if accepted > 1:
+            return AttackOutcome(
+                "replay",
+                True,
+                f"{accepted}/{attempts} redemptions accepted: one unit of "
+                "work bought multiple services",
+            )
+        return AttackOutcome(
+            "replay",
+            False,
+            f"only the first redemption accepted ({accepted}/{attempts}): "
+            "replay cache held",
+        )

@@ -1,0 +1,50 @@
+"""Benchmark harness: regenerates every table and figure in the paper."""
+
+from repro.bench.ablations import (
+    run_attacker_economics,
+    run_base_offset_ablation,
+    run_epsilon_ablation,
+    run_granularity_ablation,
+)
+from repro.bench.onset import OnsetConfig, run_onset
+from repro.bench.accuracy import AccuracyConfig, run_accuracy
+from repro.bench.calibration import (
+    CalibrationConfig,
+    fit_timing_config,
+    measure_hash_rate,
+    run_calibration,
+)
+from repro.bench.figure2 import (
+    Figure2Config,
+    Figure2Result,
+    check_shape,
+    run_figure2,
+)
+from repro.bench.results import ExperimentResult
+from repro.bench.runner import EXPERIMENTS, run_all, run_experiment
+from repro.bench.throttling import ThrottlingConfig, run_throttling
+
+__all__ = [
+    "ExperimentResult",
+    "Figure2Config",
+    "Figure2Result",
+    "run_figure2",
+    "check_shape",
+    "CalibrationConfig",
+    "run_calibration",
+    "measure_hash_rate",
+    "fit_timing_config",
+    "AccuracyConfig",
+    "run_accuracy",
+    "ThrottlingConfig",
+    "run_throttling",
+    "run_base_offset_ablation",
+    "run_epsilon_ablation",
+    "run_attacker_economics",
+    "run_granularity_ablation",
+    "OnsetConfig",
+    "run_onset",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+]

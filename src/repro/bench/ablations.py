@@ -1,0 +1,272 @@
+"""Experiments `abl-policy` and friends: design-choice ablations.
+
+§III's summary says the latency "can be tuned given different mappings"
+— these ablations chart the tuning space DESIGN.md §5 calls out:
+
+* :func:`run_base_offset_ablation` — generalises Policy 1 vs Policy 2 by
+  sweeping the linear base offset, reporting the honest-client tax
+  (median latency at score 0) against the attacker throttle (median
+  latency at score 10).
+* :func:`run_epsilon_ablation` — sweeps Policy 3's error width ε,
+  reporting growth and the variance honest clients absorb.
+* :func:`run_attacker_economics` — uses the
+  :class:`~repro.attacks.adaptive.AdaptiveAttacker` break-even rule to
+  tabulate which difficulties price out which attacker budgets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.attacks.adaptive import AdaptiveAttacker
+from repro.bench.results import ExperimentResult
+from repro.core.config import TimingConfig
+from repro.metrics.histogram import SampleSet
+from repro.policies.error_range import ErrorRangePolicy
+from repro.policies.linear import LinearPolicy
+from repro.pow.solver import sample_attempts
+
+__all__ = [
+    "run_base_offset_ablation",
+    "run_epsilon_ablation",
+    "run_attacker_economics",
+    "run_granularity_ablation",
+    "run_verify_asymmetry",
+]
+
+
+def _median_latency_ms(
+    policy, score: float, trials: int, timing: TimingConfig, rng: random.Random
+) -> float:
+    samples = SampleSet()
+    for _ in range(trials):
+        difficulty = policy.difficulty_for(score, rng)
+        attempts = sample_attempts(difficulty, rng)
+        samples.add(
+            timing.network_overhead
+            + timing.server_processing
+            + attempts * timing.seconds_per_attempt
+        )
+    return samples.median() * 1000.0
+
+
+def run_base_offset_ablation(
+    bases: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    trials: int = 30,
+    seed: int = 0xAB1,
+    timing: TimingConfig | None = None,
+) -> ExperimentResult:
+    """Sweep the linear policy's base offset (Policy 1 = 1, Policy 2 = 5)."""
+    timing = timing or TimingConfig()
+    rng = random.Random(seed)
+    rows = []
+    for base in bases:
+        policy = LinearPolicy(base=base)
+        low = _median_latency_ms(policy, 0.0, trials, timing, rng)
+        high = _median_latency_ms(policy, 10.0, trials, timing, rng)
+        rows.append([base, low, high, high / low if low else float("inf")])
+    return ExperimentResult(
+        experiment_id="abl-policy",
+        title="Ablation - linear base offset: honest tax vs attacker throttle",
+        headers=[
+            "base", "median_ms_score0", "median_ms_score10", "amplification",
+        ],
+        rows=rows,
+        notes=[
+            "base=1 is the paper's Policy 1; base=5 is Policy 2",
+            "honest tax = median latency of a score-0 client",
+        ],
+        extra={"bases": list(bases)},
+    )
+
+
+def run_epsilon_ablation(
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.0),
+    trials: int = 60,
+    seed: int = 0xAB2,
+    timing: TimingConfig | None = None,
+) -> ExperimentResult:
+    """Sweep Policy 3's error width ε.
+
+    Wider ε hedges against AI-model error but adds latency variance for
+    honest clients; the table shows both effects.
+    """
+    timing = timing or TimingConfig()
+    rng = random.Random(seed)
+    rows = []
+    for epsilon in epsilons:
+        policy = ErrorRangePolicy(epsilon=epsilon)
+        low_samples = SampleSet()
+        high_samples = SampleSet()
+        for _ in range(trials):
+            d_low = policy.difficulty_for(0.0, rng)
+            low_samples.add(
+                timing.network_overhead
+                + sample_attempts(d_low, rng) * timing.seconds_per_attempt
+            )
+            d_high = policy.difficulty_for(10.0, rng)
+            high_samples.add(
+                timing.network_overhead
+                + sample_attempts(d_high, rng) * timing.seconds_per_attempt
+            )
+        rows.append(
+            [
+                epsilon,
+                low_samples.median() * 1000.0,
+                low_samples.stdev() * 1000.0,
+                high_samples.median() * 1000.0,
+                high_samples.stdev() * 1000.0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-epsilon",
+        title="Ablation - Policy 3 error width: medians and honest variance",
+        headers=[
+            "epsilon", "median_ms_score0", "stdev_ms_score0",
+            "median_ms_score10", "stdev_ms_score10",
+        ],
+        rows=rows,
+        notes=["epsilon=2.5 is the default used for the Figure 2 reproduction"],
+        extra={"epsilons": list(epsilons)},
+    )
+
+
+def run_granularity_ablation(
+    slope: float = 0.5,
+    timing: TimingConfig | None = None,
+) -> ExperimentResult:
+    """Integer-bit vs fractional-target difficulty quantisation.
+
+    §II.2 notes "proper tuning of the difficulty is desired for
+    fine-grained reputation scores".  Integer zero-bit difficulty can
+    only double work per step; a fractional (hash-target) policy hits
+    the intended work exactly.  The table charts the expected-work
+    overshoot the integer rounding inflicts per score.
+    """
+    from repro.policies.fractional import FractionalLinearPolicy
+    from repro.pow.fractional import expected_attempts_fractional
+
+    timing = timing or TimingConfig()
+    policy = FractionalLinearPolicy(base=1.0, slope=slope)
+    rng = random.Random(0)
+    rows = []
+    for score in range(11):
+        fractional_d = policy.fractional_difficulty_for(float(score))
+        integer_d = policy.difficulty_for(float(score), rng)
+        want = expected_attempts_fractional(fractional_d)
+        get = expected_attempts_fractional(float(integer_d))
+        rows.append(
+            [
+                score,
+                fractional_d,
+                integer_d,
+                want * timing.seconds_per_attempt * 1000.0,
+                get * timing.seconds_per_attempt * 1000.0,
+                get / want,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-granularity",
+        title=(
+            "Ablation - difficulty granularity: fractional target vs "
+            "integer zero bits"
+        ),
+        headers=[
+            "score", "fractional_d", "integer_d",
+            "intended_work_ms", "integer_work_ms", "overshoot_x",
+        ],
+        rows=rows,
+        notes=[
+            f"fractional-linear policy, slope {slope:g} bits/score-point",
+            "integer rounding (against the client) overshoots the intended "
+            "work by up to 2x; fractional targets hit it exactly",
+        ],
+        extra={"slope": slope},
+    )
+
+
+def run_verify_asymmetry(
+    difficulties: Sequence[int] = (4, 8, 12),
+    verify_repeats: int = 100,
+) -> ExperimentResult:
+    """Measured solve-vs-verify cost asymmetry (§II.5: "light weight").
+
+    Real wall-clock: grinds one puzzle per difficulty with the actual
+    solver, then times repeated verifications of its solution.  The
+    asymmetry ratio grows ~2x per difficulty bit while verification
+    stays flat — the property every PoW defense rests on.
+    """
+    import time
+
+    from repro.pow.generator import PuzzleGenerator
+    from repro.pow.solver import HashSolver
+    from repro.pow.verifier import PuzzleVerifier
+
+    if verify_repeats < 1:
+        raise ValueError(f"verify_repeats must be >= 1, got {verify_repeats}")
+    client = "198.51.100.200"
+    generator = PuzzleGenerator()
+    verifier = PuzzleVerifier(replay_cache=None)
+    solver = HashSolver()
+    rows = []
+    for difficulty in difficulties:
+        puzzle = generator.issue(client, difficulty, now=0.0)
+        started = time.perf_counter()
+        solution = solver.solve(puzzle, client)
+        solve_s = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(verify_repeats):
+            verifier.verify(puzzle, solution, client, now=1.0)
+        verify_s = (time.perf_counter() - started) / verify_repeats
+        rows.append(
+            [
+                difficulty,
+                solution.attempts,
+                solve_s * 1e3,
+                verify_s * 1e6,
+                solve_s / verify_s if verify_s > 0 else float("inf"),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-verify",
+        title="Ablation - solve vs verify cost (measured, wall-clock)",
+        headers=[
+            "difficulty", "attempts", "solve_ms", "verify_us", "asymmetry_x",
+        ],
+        rows=rows,
+        notes=[
+            "verification = 1 HMAC + 1 hash, constant in difficulty "
+            "(paper §II.5: 'light weight')",
+        ],
+        extra={"difficulties": list(difficulties)},
+    )
+
+
+def run_attacker_economics(
+    budgets: Sequence[float] = (0.01, 0.05, 0.25, 1.0, 5.0),
+    hash_rate: float = 37_000.0,
+) -> ExperimentResult:
+    """Break-even difficulties for attacker budgets (seconds/request)."""
+    rows = []
+    for budget in budgets:
+        attacker = AdaptiveAttacker(
+            value_per_request=budget, hash_rate=hash_rate
+        )
+        d = attacker.break_even_difficulty()
+        rows.append(
+            [budget, d, attacker.expected_cost_seconds(d) * 1000.0]
+        )
+    return ExperimentResult(
+        experiment_id="abl-econ",
+        title="Ablation - attacker break-even difficulty by budget",
+        headers=["budget_s_per_request", "break_even_difficulty", "cost_ms_at_d"],
+        rows=rows,
+        notes=[
+            f"hash rate = {hash_rate:,.0f} evaluations/s "
+            "(the calibrated client)",
+            "a policy throttles a budget once it issues difficulties "
+            "above the break-even",
+        ],
+        extra={"hash_rate": hash_rate},
+    )

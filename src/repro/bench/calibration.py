@@ -1,0 +1,151 @@
+"""Experiment `cal31`: the paper's timing calibration.
+
+§III.A states: "It takes 31 ms on average to solve a 1-difficult
+puzzle, and this time increases with difficulty."  This experiment
+verifies both halves against the calibrated model, and additionally
+measures the *real* hash rate of this machine with the
+:class:`~repro.pow.solver.HashSolver` so the simulated and wall-clock
+worlds can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Sequence
+
+from repro.core.config import TimingConfig
+from repro.bench.results import ExperimentResult
+from repro.metrics.histogram import SampleSet
+from repro.pow.generator import PuzzleGenerator
+from repro.pow.solver import HashSolver, sample_attempts
+
+__all__ = [
+    "CalibrationConfig",
+    "run_calibration",
+    "measure_hash_rate",
+    "fit_timing_config",
+]
+
+#: The paper's headline number for a 1-difficult puzzle.
+PAPER_ONE_DIFFICULT_MS = 31.0
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CalibrationConfig:
+    """Parameters of the calibration experiment."""
+
+    difficulties: Sequence[int] = (1, 3, 5, 7, 9, 11, 13, 15)
+    trials: int = 200
+    seed: int = 0xCA11
+    timing: TimingConfig = dataclasses.field(default_factory=TimingConfig)
+
+    def __post_init__(self) -> None:
+        if not self.difficulties:
+            raise ValueError("difficulties must be non-empty")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+
+
+def measure_hash_rate(
+    sample_difficulty: int = 12, repeats: int = 3
+) -> float:
+    """Measured hash evaluations per second of this machine's solver.
+
+    Grinds a few real puzzles and divides total attempts by total time.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    generator = PuzzleGenerator()
+    solver = HashSolver()
+    attempts = 0
+    elapsed = 0.0
+    for i in range(repeats):
+        puzzle = generator.issue("198.51.100.9", sample_difficulty, now=float(i))
+        started = time.perf_counter()
+        solution = solver.solve(puzzle, "198.51.100.9")
+        elapsed += time.perf_counter() - started
+        attempts += solution.attempts
+    if elapsed <= 0:
+        elapsed = 1e-9
+    return attempts / elapsed
+
+
+def fit_timing_config(
+    target_one_difficult_ms: float = PAPER_ONE_DIFFICULT_MS,
+    seconds_per_attempt: float = 27e-6,
+    server_processing: float = 0.0005,
+) -> TimingConfig:
+    """Fit the network overhead so a 1-difficult puzzle costs the target.
+
+    Mean attempts at difficulty 1 is 2, so::
+
+        overhead = target - server_processing - 2 * seconds_per_attempt
+    """
+    if target_one_difficult_ms <= 0:
+        raise ValueError("target must be > 0")
+    overhead = (
+        target_one_difficult_ms / 1000.0
+        - server_processing
+        - 2.0 * seconds_per_attempt
+    )
+    if overhead < 0:
+        raise ValueError(
+            "target latency too small for the given per-attempt cost"
+        )
+    return TimingConfig(
+        network_overhead=overhead,
+        seconds_per_attempt=seconds_per_attempt,
+        server_processing=server_processing,
+    )
+
+
+def run_calibration(config: CalibrationConfig | None = None) -> ExperimentResult:
+    """Mean/median modeled latency per difficulty, plus the 31 ms check."""
+    config = config or CalibrationConfig()
+    rng = random.Random(config.seed)
+    timing = config.timing
+
+    rows = []
+    mean_by_difficulty: dict[int, float] = {}
+    for difficulty in config.difficulties:
+        samples = SampleSet()
+        for _ in range(config.trials):
+            attempts = sample_attempts(difficulty, rng)
+            samples.add(
+                timing.network_overhead
+                + timing.server_processing
+                + attempts * timing.seconds_per_attempt
+            )
+        mean_ms = samples.mean() * 1000.0
+        mean_by_difficulty[difficulty] = mean_ms
+        rows.append(
+            [
+                difficulty,
+                mean_ms,
+                samples.median() * 1000.0,
+                timing.expected_latency(difficulty) * 1000.0,
+            ]
+        )
+
+    one_difficult_ms = (
+        mean_by_difficulty.get(1)
+        if 1 in mean_by_difficulty
+        else timing.expected_latency(1) * 1000.0
+    )
+    return ExperimentResult(
+        experiment_id="cal31",
+        title="Calibration - modeled latency (ms) by difficulty",
+        headers=["difficulty", "mean_ms", "median_ms", "analytic_mean_ms"],
+        rows=rows,
+        notes=[
+            f"paper: 1-difficult puzzle takes {PAPER_ONE_DIFFICULT_MS:.0f} ms "
+            f"on average; measured {one_difficult_ms:.1f} ms",
+            "paper: time increases with difficulty",
+        ],
+        extra={
+            "one_difficult_ms": one_difficult_ms,
+            "mean_by_difficulty": mean_by_difficulty,
+        },
+    )

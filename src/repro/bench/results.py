@@ -1,0 +1,66 @@
+"""Result records shared by the experiment harness.
+
+Every experiment returns an :class:`ExperimentResult`: named, tabular,
+self-rendering, and JSON-serialisable, so the CLI, the pytest benches
+and EXPERIMENTS.md all consume the same object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Sequence
+
+from repro.metrics.reporting import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One experiment's regenerated table.
+
+    Parameters
+    ----------
+    experiment_id:
+        Short id matching DESIGN.md's experiment index (e.g. "fig2").
+    title:
+        Human-readable title including the paper artifact.
+    headers / rows:
+        The regenerated table, in the same orientation the paper
+        reports.
+    notes:
+        Free-form commentary (calibration constants, paper-reported
+        values for comparison).
+    extra:
+        Machine-readable payload for tests (e.g. the raw medians).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[Any]]
+    notes: list[str] = dataclasses.field(default_factory=list)
+    extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        """The table plus notes, ready to print."""
+        parts = [render_table(self.headers, self.rows, title=self.title)]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """JSON form for archiving results."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(r) for r in self.rows],
+                "notes": list(self.notes),
+                "extra": self.extra,
+            },
+            indent=2,
+            default=float,
+        )

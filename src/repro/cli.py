@@ -1,0 +1,320 @@
+"""Command-line interface: ``python -m repro`` / ``repro-pow``.
+
+Subcommands map one-to-one onto the experiment harness plus two
+interactive modes:
+
+* ``figure2``   — regenerate the paper's Figure 2 (table + ASCII chart);
+* ``calibrate`` — the 31 ms calibration table and this machine's hash rate;
+* ``accuracy``  — the DAbR 80 % accuracy experiment;
+* ``throttle``  — the three-setup throttling comparison;
+* ``ablations`` — the policy/epsilon/economics ablation tables;
+* ``demo``      — one full challenge/solve/verify exchange, verbosely;
+* ``serve``     — run the live TCP server in the foreground;
+* ``all``       — every experiment, in DESIGN.md order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pow",
+        description=(
+            "Reproduction of 'A Policy Driven AI-Assisted PoW Framework' "
+            "(DSN 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = sub.add_parser("figure2", help="regenerate Figure 2")
+    fig2.add_argument("--trials", type=int, default=30)
+    fig2.add_argument("--epsilon", type=float, default=2.5)
+    fig2.add_argument("--seed", type=int, default=0xF162)
+    fig2.add_argument(
+        "--mode", choices=("modeled", "grind"), default="modeled",
+        help="modeled: calibrated sampling; grind: real hashing",
+    )
+    fig2.add_argument("--chart", action="store_true", help="ASCII chart too")
+
+    cal = sub.add_parser("calibrate", help="31 ms calibration experiment")
+    cal.add_argument("--trials", type=int, default=200)
+    cal.add_argument(
+        "--measure-hash-rate", action="store_true",
+        help="also grind real puzzles to measure this machine's hash rate",
+    )
+
+    acc = sub.add_parser("accuracy", help="DAbR 80%% accuracy experiment")
+    acc.add_argument("--corpus-size", type=int, default=6000)
+    acc.add_argument("--seed", type=int, default=7)
+
+    thr = sub.add_parser("throttle", help="throttling comparison")
+    thr.add_argument("--duration", type=float, default=30.0)
+    thr.add_argument("--benign", type=int, default=25)
+    thr.add_argument("--bots", type=int, default=15)
+
+    sub.add_parser("ablations", help="policy/epsilon/economics ablations")
+
+    demo = sub.add_parser("demo", help="one verbose end-to-end exchange")
+    demo.add_argument("--score", type=float, default=None,
+                      help="force this reputation score instead of DAbR")
+    demo.add_argument("--policy", default="policy-2",
+                      help="policy registry name (policy-1/2/3, ...)")
+
+    serve = sub.add_parser("serve", help="run the live TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377)
+    serve.add_argument("--policy", default="policy-2")
+
+    analyze = sub.add_parser(
+        "analyze", help="closed-form policy comparison and synthesis"
+    )
+    analyze.add_argument(
+        "--targets", type=float, nargs="*", default=None,
+        help="per-score latency budgets (seconds) to synthesize a policy for",
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="run a JSON scenario document through the simulator"
+    )
+    scenario.add_argument("file", help="path to the scenario JSON")
+
+    export = sub.add_parser(
+        "export", help="run every experiment and write JSON results"
+    )
+    export.add_argument("--out", default="results", help="output directory")
+
+    sub.add_parser("all", help="run every experiment")
+    return parser
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.bench.figure2 import Figure2Config, check_shape, run_figure2
+
+    config = Figure2Config(
+        trials=args.trials, epsilon=args.epsilon,
+        seed=args.seed, mode=args.mode,
+    )
+    result = run_figure2(config)
+    print(result.to_experiment_result().render())
+    if args.chart:
+        print()
+        print(result.render_chart())
+    problems = check_shape(result)
+    if problems:
+        print("\nSHAPE CHECK FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nshape check: OK (P1 slow, P2 steep, P3 in between)")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.bench.calibration import (
+        CalibrationConfig,
+        measure_hash_rate,
+        run_calibration,
+    )
+
+    print(run_calibration(CalibrationConfig(trials=args.trials)).render())
+    if args.measure_hash_rate:
+        rate = measure_hash_rate()
+        print(f"\nmeasured hash rate: {rate:,.0f} evaluations/s "
+              f"({1e6 / rate:.2f} us/attempt)")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.bench.accuracy import AccuracyConfig, run_accuracy
+
+    config = AccuracyConfig(corpus_size=args.corpus_size, seed=args.seed)
+    print(run_accuracy(config).render())
+    return 0
+
+
+def _cmd_throttle(args: argparse.Namespace) -> int:
+    from repro.bench.throttling import ThrottlingConfig, run_throttling
+
+    config = ThrottlingConfig(
+        benign_clients=args.benign,
+        attacker_bots=args.bots,
+        duration=args.duration,
+    )
+    print(run_throttling(config).render())
+    return 0
+
+
+def _cmd_ablations(_args: argparse.Namespace) -> int:
+    from repro.bench.ablations import (
+        run_attacker_economics,
+        run_base_offset_ablation,
+        run_epsilon_ablation,
+    )
+
+    for result in (
+        run_base_offset_ablation(),
+        run_epsilon_ablation(),
+        run_attacker_economics(),
+    ):
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.framework import AIPoWFramework
+    from repro.core.records import ClientRequest
+    from repro.policies import POLICY_REGISTRY
+    from repro.pow.solver import HashSolver
+    from repro.reputation.dabr import DAbRModel
+    from repro.reputation.dataset import generate_corpus
+    from repro.reputation.ensemble import ConstantModel
+
+    policy = POLICY_REGISTRY.create(args.policy)
+    corpus = generate_corpus(size=2000, seed=7)
+    train, test = corpus.split()
+    if args.score is not None:
+        model = ConstantModel(args.score)
+        example = test[0]
+        print(f"model: constant score {args.score:g}")
+    else:
+        model = DAbRModel().fit(train)
+        example = max(test, key=lambda e: e.true_score)
+        print("model: DAbR fitted on the synthetic corpus")
+
+    framework = AIPoWFramework(model, policy)
+    request = ClientRequest(
+        client_ip=example.ip,
+        resource="/index.html",
+        timestamp=time.time(),
+        features=example.features,
+    )
+    print(f"client {example.ip}: true score {example.true_score:.2f}")
+
+    challenge = framework.challenge(request)
+    decision = challenge.decision
+    print(f"scored {decision.reputation_score:.2f} -> "
+          f"{decision.policy_name} -> difficulty {decision.difficulty}")
+    print(f"puzzle: {challenge.puzzle.to_wire()}")
+
+    solution = HashSolver().solve(challenge.puzzle, example.ip)
+    print(f"solved in {solution.attempts} attempts "
+          f"({solution.elapsed * 1000:.1f} ms)")
+
+    response = framework.redeem(challenge, solution)
+    print(f"verdict: {response.status.value}, "
+          f"latency {response.latency_ms:.1f} ms, body {response.body!r}")
+    return 0 if response.served else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.framework import AIPoWFramework
+    from repro.net.live.server import LiveServer
+    from repro.policies import POLICY_REGISTRY
+    from repro.reputation.dabr import DAbRModel
+    from repro.reputation.dataset import generate_corpus
+
+    train, _ = generate_corpus(size=4000, seed=7).split()
+    framework = AIPoWFramework(
+        DAbRModel().fit(train), POLICY_REGISTRY.create(args.policy)
+    )
+    server = LiveServer(framework, host=args.host, port=args.port)
+    with server:
+        host, port = server.address
+        print(f"serving AI-assisted PoW on {host}:{port} "
+              f"(policy {args.policy}); Ctrl-C to stop")
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.analysis.comparison import compare_policies
+    from repro.analysis.synthesis import synthesize_table_policy
+    from repro.policies import paper_policies
+
+    print(compare_policies(paper_policies()).render())
+    if args.targets:
+        policy = synthesize_table_policy(args.targets)
+        rng = random.Random(0)
+        print(f"\nsynthesized policy for {len(args.targets)} budgets:")
+        print(f"  {policy.describe()}")
+        for score in range(len(args.targets)):
+            print(
+                f"  score {score}: difficulty "
+                f"{policy.difficulty_for(float(score), rng)} "
+                f"(budget {args.targets[score]:g}s)"
+            )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.bench.scenario import run_scenario_json
+
+    with open(args.file, encoding="utf-8") as handle:
+        result = run_scenario_json(handle.read())
+    print(result.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.bench.runner import EXPERIMENTS
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id, harness in EXPERIMENTS.items():
+        result = harness()
+        path = out_dir / f"{experiment_id}.json"
+        path.write_text(result.to_json(), encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_all(_args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_all
+
+    for result in run_all():
+        print(result.render())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "figure2": _cmd_figure2,
+    "calibrate": _cmd_calibrate,
+    "accuracy": _cmd_accuracy,
+    "throttle": _cmd_throttle,
+    "ablations": _cmd_ablations,
+    "demo": _cmd_demo,
+    "serve": _cmd_serve,
+    "analyze": _cmd_analyze,
+    "scenario": _cmd_scenario,
+    "export": _cmd_export,
+    "all": _cmd_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

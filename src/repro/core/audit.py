@@ -1,0 +1,148 @@
+"""Audit log: a durable, replayable record of issuer decisions.
+
+Security middleboxes need to answer "why did client X get a 15-difficult
+puzzle at 14:02?" months later.  :class:`AuditLog` subscribes to a
+framework's event bus and appends one JSON line per issued challenge and
+per terminal response; :class:`AuditRecord` parses them back.
+
+The log is an *observer* — it can never affect the data plane (a write
+failure is counted and logged, not raised into request handling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import logging
+from typing import Iterator
+
+from repro.core.events import EventBus, EventKind, FrameworkEvent
+from repro.core.records import IssuerDecision, ServedResponse
+
+__all__ = ["AuditLog", "AuditRecord", "read_audit_log"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AuditRecord:
+    """One parsed audit line.
+
+    ``kind`` is ``"challenge"`` or ``"response"``; the remaining fields
+    are populated according to the kind (difficulty/score always, status
+    and latency only for responses).
+    """
+
+    kind: str
+    timestamp: float
+    client_ip: str
+    resource: str
+    score: float
+    difficulty: int
+    policy: str
+    model: str
+    status: str = ""
+    latency_ms: float = 0.0
+
+    @classmethod
+    def from_json(cls, line: str) -> "AuditRecord":
+        data = json.loads(line)
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+
+class AuditLog:
+    """Writes audit lines for every challenge and terminal response.
+
+    Parameters
+    ----------
+    sink:
+        A text file-like object (anything with ``write``).  The caller
+        owns its lifecycle; :class:`AuditLog` only writes and flushes.
+    flush_every:
+        Flush the sink after this many records (1 = always).
+    """
+
+    def __init__(self, sink: io.TextIOBase, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._sink = sink
+        self._flush_every = flush_every
+        self._since_flush = 0
+        self.records_written = 0
+        self.write_failures = 0
+
+    def attach(self, bus: EventBus) -> "AuditLog":
+        """Subscribe to the relevant pipeline events; returns self."""
+        bus.subscribe(
+            self._on_event,
+            kinds=[EventKind.PUZZLE_ISSUED, EventKind.RESPONSE_SERVED],
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: FrameworkEvent) -> None:
+        try:
+            record = self._record_for(event)
+        except Exception:  # noqa: BLE001 - observers must not throw
+            logger.exception("audit: could not build record for %r", event.kind)
+            self.write_failures += 1
+            return
+        if record is None:
+            return
+        try:
+            self._sink.write(record.to_json() + "\n")
+            self.records_written += 1
+            self._since_flush += 1
+            if self._since_flush >= self._flush_every:
+                self._sink.flush()
+                self._since_flush = 0
+        except Exception:  # noqa: BLE001
+            logger.exception("audit: write failed")
+            self.write_failures += 1
+
+    def _record_for(self, event: FrameworkEvent) -> AuditRecord | None:
+        if event.kind is EventKind.PUZZLE_ISSUED:
+            decision = event.payload.get("decision")
+            if not isinstance(decision, IssuerDecision):
+                return None
+            return AuditRecord(
+                kind="challenge",
+                timestamp=event.timestamp,
+                client_ip=decision.request.client_ip,
+                resource=decision.request.resource,
+                score=decision.reputation_score,
+                difficulty=decision.difficulty,
+                policy=decision.policy_name,
+                model=decision.model_name,
+            )
+        if event.kind is EventKind.RESPONSE_SERVED:
+            response = event.payload.get("response")
+            if not isinstance(response, ServedResponse):
+                return None
+            decision = response.decision
+            return AuditRecord(
+                kind="response",
+                timestamp=event.timestamp,
+                client_ip=decision.request.client_ip,
+                resource=decision.request.resource,
+                score=decision.reputation_score,
+                difficulty=decision.difficulty,
+                policy=decision.policy_name,
+                model=decision.model_name,
+                status=response.status.value,
+                latency_ms=response.latency_ms,
+            )
+        return None
+
+
+def read_audit_log(path) -> Iterator[AuditRecord]:
+    """Stream parsed records from an audit file written by :class:`AuditLog`."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield AuditRecord.from_json(line)

@@ -1,0 +1,143 @@
+"""Exception hierarchy for the AI-assisted PoW framework.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at the framework boundary.  The
+subsystem-specific subclasses make failure modes explicit: a verifier
+rejecting a forged puzzle raises :class:`PuzzleIntegrityError`, a policy
+given an out-of-range reputation score raises :class:`PolicyDomainError`,
+and so on.  Errors carry enough context (offending values, limits) to be
+actionable in logs without needing a debugger.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "RegistryError",
+    "ComponentNotFoundError",
+    "DuplicateComponentError",
+    "ReputationError",
+    "FeatureSchemaError",
+    "ModelNotFittedError",
+    "PolicyError",
+    "PolicyDomainError",
+    "PolicySpecError",
+    "PuzzleError",
+    "PuzzleIntegrityError",
+    "PuzzleExpiredError",
+    "ReplayedSolutionError",
+    "SolutionInvalidError",
+    "NonceSpaceExhaustedError",
+    "SimulationError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class RegistryError(ReproError):
+    """Base class for component-registry failures."""
+
+
+class ComponentNotFoundError(RegistryError):
+    """A component name was looked up but never registered."""
+
+    def __init__(self, kind: str, name: str, available: tuple[str, ...] = ()):
+        self.kind = kind
+        self.name = name
+        self.available = available
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"no {kind} registered under {name!r}{hint}")
+
+
+class DuplicateComponentError(RegistryError):
+    """A component name was registered twice without ``replace=True``."""
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind
+        self.name = name
+        super().__init__(f"{kind} {name!r} is already registered")
+
+
+class ReputationError(ReproError):
+    """Base class for reputation-subsystem failures."""
+
+
+class FeatureSchemaError(ReputationError):
+    """A feature vector does not conform to the declared schema."""
+
+
+class ModelNotFittedError(ReputationError):
+    """A reputation model was queried before :meth:`fit` was called."""
+
+
+class PolicyError(ReproError):
+    """Base class for policy-engine failures."""
+
+
+class PolicyDomainError(PolicyError):
+    """A reputation score lies outside the policy's declared domain."""
+
+    def __init__(self, score: float, low: float, high: float):
+        self.score = score
+        self.low = low
+        self.high = high
+        super().__init__(
+            f"reputation score {score!r} outside policy domain [{low}, {high}]"
+        )
+
+
+class PolicySpecError(PolicyError):
+    """A declarative policy specification failed to parse or validate."""
+
+
+class PuzzleError(ReproError):
+    """Base class for PoW-subsystem failures."""
+
+
+class PuzzleIntegrityError(PuzzleError):
+    """The puzzle's authentication tag does not match its contents."""
+
+
+class PuzzleExpiredError(PuzzleError):
+    """The puzzle's time-to-live elapsed before a solution arrived."""
+
+    def __init__(self, age: float, ttl: float):
+        self.age = age
+        self.ttl = ttl
+        super().__init__(f"puzzle expired: age {age:.3f}s exceeds ttl {ttl:.3f}s")
+
+
+class ReplayedSolutionError(PuzzleError):
+    """A previously-accepted solution was submitted again."""
+
+
+class SolutionInvalidError(PuzzleError):
+    """The submitted nonce does not meet the puzzle's difficulty target."""
+
+
+class NonceSpaceExhaustedError(PuzzleError):
+    """The solver exhausted its nonce space without finding a solution."""
+
+    def __init__(self, attempts: int, difficulty: int):
+        self.attempts = attempts
+        self.difficulty = difficulty
+        super().__init__(
+            f"nonce space exhausted after {attempts} attempts "
+            f"at difficulty {difficulty}"
+        )
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A live-server protocol frame was malformed or out of sequence."""

@@ -1,0 +1,101 @@
+"""Structured event hooks for observing the framework pipeline.
+
+The framework emits one event per pipeline stage (scored, policy applied,
+puzzle issued, solution verified, response served/denied).  Subscribers —
+metrics collectors, loggers, tests — register callbacks on an
+:class:`EventBus`.  Emission is synchronous and exceptions in subscribers
+are isolated so a broken observer cannot take down the data plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import logging
+from typing import Any, Callable, Iterable
+
+__all__ = ["EventKind", "FrameworkEvent", "EventBus"]
+
+logger = logging.getLogger(__name__)
+
+
+class EventKind(enum.Enum):
+    """Pipeline stages at which the framework emits events."""
+
+    REQUEST_RECEIVED = "request_received"
+    SCORED = "scored"
+    POLICY_APPLIED = "policy_applied"
+    PUZZLE_ISSUED = "puzzle_issued"
+    SOLUTION_RECEIVED = "solution_received"
+    SOLUTION_VERIFIED = "solution_verified"
+    SOLUTION_REJECTED = "solution_rejected"
+    RESPONSE_SERVED = "response_served"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FrameworkEvent:
+    """One observation of the pipeline.
+
+    ``payload`` carries stage-specific data (the request, score,
+    difficulty, puzzle, verification outcome, ...) keyed by short names;
+    it is intentionally a plain dict so observers stay decoupled from
+    internal types.
+    """
+
+    kind: EventKind
+    timestamp: float
+    payload: dict[str, Any]
+
+
+Subscriber = Callable[[FrameworkEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`FrameworkEvent` to subscribers.
+
+    Subscribers may register for specific kinds or for all events.
+    A subscriber raising an exception is logged and skipped; the
+    remaining subscribers still run.
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: dict[EventKind, list[Subscriber]] = {}
+        self._global: list[Subscriber] = []
+
+    def subscribe(
+        self,
+        subscriber: Subscriber,
+        kinds: Iterable[EventKind] | None = None,
+    ) -> None:
+        """Register ``subscriber`` for ``kinds`` (or every kind if None)."""
+        if kinds is None:
+            self._global.append(subscriber)
+            return
+        for kind in kinds:
+            self._by_kind.setdefault(kind, []).append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove ``subscriber`` from all registrations (idempotent).
+
+        Equality (not identity) comparison, so bound methods — which
+        are recreated on each attribute access — unsubscribe cleanly.
+        """
+        self._global = [s for s in self._global if s != subscriber]
+        for kind, subs in self._by_kind.items():
+            self._by_kind[kind] = [s for s in subs if s != subscriber]
+
+    def emit(self, kind: EventKind, timestamp: float, **payload: Any) -> None:
+        """Build and deliver an event to all matching subscribers."""
+        event = FrameworkEvent(kind=kind, timestamp=timestamp, payload=payload)
+        for subscriber in self._global + self._by_kind.get(kind, []):
+            try:
+                subscriber(event)
+            except Exception:  # noqa: BLE001 - observer isolation by design
+                logger.exception("event subscriber %r failed", subscriber)
+
+    def subscriber_count(self, kind: EventKind | None = None) -> int:
+        """Number of subscribers that would see an event of ``kind``."""
+        if kind is None:
+            per_kind = sum(len(subs) for subs in self._by_kind.values())
+            return len(self._global) + per_kind
+        return len(self._global) + len(self._by_kind.get(kind, []))

@@ -1,0 +1,254 @@
+"""The adaptive issuer: the paper's core contribution, as a library.
+
+:class:`AIPoWFramework` wires together the five components of Figure 1 of
+the paper: the AI model, the policy, puzzle generation, (client-side)
+puzzle solving, and puzzle verification.  The server-side flow is split
+into two calls mirroring the two network round-trips:
+
+1. :meth:`challenge` — steps (1)–(4): the request arrives, the AI model
+   scores it, the policy maps the score to a difficulty, and an
+   authenticated puzzle is issued.
+2. :meth:`redeem` — steps (5)–(7): the client's solution is verified and,
+   if valid, the resource is served.
+
+:meth:`process` runs the whole exchange in-process with a supplied solver
+and clock — the backbone of the examples and of the wall-clock benches.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.core.config import FrameworkConfig
+from repro.core.errors import (
+    PuzzleError,
+    PuzzleExpiredError,
+    ReplayedSolutionError,
+    SolutionInvalidError,
+)
+from repro.core.events import EventBus, EventKind
+from repro.core.interfaces import Policy, PuzzleSolver, ReputationModel
+from repro.core.records import (
+    ClientRequest,
+    IssuerDecision,
+    ResponseStatus,
+    ServedResponse,
+)
+from repro.pow.generator import PuzzleGenerator
+from repro.pow.puzzle import Puzzle, Solution
+from repro.pow.verifier import PuzzleVerifier, ReplayCache
+
+__all__ = ["AIPoWFramework", "Challenge"]
+
+
+class Challenge:
+    """An outstanding puzzle issued to one client.
+
+    Bundles the :class:`IssuerDecision` (why the puzzle was this hard)
+    with the :class:`Puzzle` itself so transports can relay both and the
+    metrics layer can tie the eventual outcome back to the decision.
+    """
+
+    __slots__ = ("decision", "puzzle")
+
+    def __init__(self, decision: IssuerDecision, puzzle: Puzzle) -> None:
+        self.decision = decision
+        self.puzzle = puzzle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Challenge(ip={self.decision.request.client_ip!r}, "
+            f"score={self.decision.reputation_score:.2f}, "
+            f"difficulty={self.decision.difficulty})"
+        )
+
+
+class AIPoWFramework:
+    """The policy-driven, AI-assisted PoW server pipeline.
+
+    Parameters
+    ----------
+    model:
+        Reputation model implementing :class:`ReputationModel` (e.g.
+        :class:`repro.reputation.dabr.DAbRModel`).
+    policy:
+        Score → difficulty mapping (e.g.
+        :class:`repro.policies.linear.LinearPolicy`).
+    config:
+        Framework configuration; defaults are the calibrated paper setup.
+    events:
+        Optional :class:`EventBus` receiving one event per pipeline stage.
+    rng:
+        RNG used by randomized policies; defaults to a generator seeded
+        from ``config.policy_seed`` for reproducibility.
+    """
+
+    def __init__(
+        self,
+        model: ReputationModel,
+        policy: Policy,
+        config: FrameworkConfig | None = None,
+        *,
+        events: EventBus | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.model = model
+        self.policy = policy
+        self.events = events or EventBus()
+        self._rng = rng or random.Random(self.config.policy_seed)
+        self._generator = PuzzleGenerator(self.config.pow)
+        self._verifier = PuzzleVerifier(
+            self.config.pow, replay_cache=ReplayCache()
+        )
+
+    # ------------------------------------------------------------------
+    # Server-side half 1: request -> puzzle
+    # ------------------------------------------------------------------
+    def challenge(self, request: ClientRequest, now: float | None = None) -> Challenge:
+        """Score ``request`` and issue an appropriately hard puzzle.
+
+        This is steps (1)–(4) of the paper's Figure 1.
+        """
+        now = time.time() if now is None else now
+        self.events.emit(EventKind.REQUEST_RECEIVED, now, request=request)
+
+        score = self.model.score_request(request)
+        self.events.emit(EventKind.SCORED, now, request=request, score=score)
+
+        raw_difficulty = self.policy.difficulty_for(score, self._rng)
+        difficulty = self.config.clamp_difficulty(raw_difficulty)
+        self.events.emit(
+            EventKind.POLICY_APPLIED,
+            now,
+            request=request,
+            score=score,
+            difficulty=difficulty,
+            policy=self.policy.name,
+        )
+
+        decision = IssuerDecision(
+            request=request,
+            reputation_score=score,
+            difficulty=difficulty,
+            policy_name=self.policy.name,
+            model_name=self.model.name,
+        )
+        puzzle = self._generator.issue(request.client_ip, difficulty, now=now)
+        self.events.emit(
+            EventKind.PUZZLE_ISSUED, now, decision=decision, puzzle=puzzle
+        )
+        return Challenge(decision, puzzle)
+
+    # ------------------------------------------------------------------
+    # Server-side half 2: solution -> resource
+    # ------------------------------------------------------------------
+    def redeem(
+        self,
+        challenge: Challenge,
+        solution: Solution,
+        now: float | None = None,
+        *,
+        request_sent_at: float | None = None,
+    ) -> ServedResponse:
+        """Verify ``solution`` and serve (or deny) the resource.
+
+        This is steps (5)–(7) of the paper's Figure 1.  ``request_sent_at``
+        lets the caller attribute end-to-end latency; when omitted, the
+        original request timestamp is used.
+        """
+        now = time.time() if now is None else now
+        decision = challenge.decision
+        sent_at = (
+            decision.request.timestamp
+            if request_sent_at is None
+            else request_sent_at
+        )
+        latency = max(0.0, now - sent_at)
+        self.events.emit(
+            EventKind.SOLUTION_RECEIVED, now, decision=decision, solution=solution
+        )
+
+        try:
+            self._verifier.verify(
+                challenge.puzzle, solution, decision.request.client_ip, now=now
+            )
+        except PuzzleExpiredError:
+            status = ResponseStatus.EXPIRED
+        except ReplayedSolutionError:
+            status = ResponseStatus.REPLAYED
+        except (SolutionInvalidError, PuzzleError):
+            status = ResponseStatus.REJECTED
+        else:
+            status = ResponseStatus.SERVED
+
+        if status is ResponseStatus.SERVED:
+            self.events.emit(
+                EventKind.SOLUTION_VERIFIED, now, decision=decision
+            )
+            body = f"resource:{decision.request.resource}"
+        else:
+            self.events.emit(
+                EventKind.SOLUTION_REJECTED, now, decision=decision, status=status
+            )
+            body = ""
+
+        response = ServedResponse(
+            decision=decision,
+            status=status,
+            latency=latency,
+            solve_attempts=solution.attempts,
+            body=body,
+        )
+        self.events.emit(EventKind.RESPONSE_SERVED, now, response=response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Whole exchange, in-process
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        request: ClientRequest,
+        solver: PuzzleSolver,
+        clock: Callable[[], float] = time.time,
+    ) -> ServedResponse:
+        """Run the full challenge/solve/redeem exchange with ``solver``.
+
+        Wall-clock timing comes from ``clock``; pass a fake clock in
+        tests for determinism.  The request's own ``timestamp`` marks
+        when the client sent it, so latency covers the whole exchange.
+        """
+        challenge = self.challenge(request, now=clock())
+        solution = solver.solve(challenge.puzzle, request.client_ip)
+        return self.redeem(
+            challenge,
+            solution,
+            now=clock(),
+            request_sent_at=request.timestamp,
+        )
+
+    def deny(
+        self,
+        challenge: Challenge,
+        status: ResponseStatus,
+        now: float,
+        *,
+        attempts: int = 0,
+    ) -> ServedResponse:
+        """Record a terminal non-served outcome (abandonment, timeout).
+
+        Used by the simulator when a client never returns a solution.
+        """
+        if status is ResponseStatus.SERVED:
+            raise ValueError("deny() cannot produce a SERVED response")
+        latency = max(0.0, now - challenge.decision.request.timestamp)
+        response = ServedResponse(
+            decision=challenge.decision,
+            status=status,
+            latency=latency,
+            solve_attempts=attempts,
+        )
+        self.events.emit(EventKind.RESPONSE_SERVED, now, response=response)
+        return response

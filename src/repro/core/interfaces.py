@@ -1,0 +1,107 @@
+"""Protocols for the framework's pluggable components.
+
+The paper stresses that "the framework is modular and each component can
+be customized".  These :class:`typing.Protocol` definitions are the
+contract each replaceable part must satisfy:
+
+* :class:`ReputationModel` — the AI model producing a score in [0, 10];
+* :class:`Policy` — the score → difficulty mapping;
+* :class:`PuzzleIssuer` — generates authenticated puzzles;
+* :class:`PuzzleVerifier` — checks returned solutions;
+* :class:`PuzzleSolver` — the client-side grinder.
+
+Concrete implementations live in :mod:`repro.reputation`,
+:mod:`repro.policies` and :mod:`repro.pow`; the framework in
+:mod:`repro.core.framework` composes them without caring which concrete
+classes were chosen.  All protocols are ``runtime_checkable`` so tests and
+the registry can sanity-check third-party plugins with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.core.records import ClientRequest
+
+__all__ = [
+    "ReputationModel",
+    "Policy",
+    "PuzzleIssuer",
+    "PuzzleVerifier",
+    "PuzzleSolver",
+    "SupportsName",
+]
+
+
+@runtime_checkable
+class SupportsName(Protocol):
+    """Anything exposing a stable human-readable ``name`` attribute."""
+
+    @property
+    def name(self) -> str: ...
+
+
+@runtime_checkable
+class ReputationModel(Protocol):
+    """The AI subsystem: maps request features to a reputation score.
+
+    Scores follow the paper's convention: a float in ``[0, 10]`` where
+    *higher means less trustworthy*.  Implementations must be
+    deterministic for a fixed fitted state and input features.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def score(self, features: Mapping[str, float]) -> float:
+        """Return the reputation score in [0, 10] for one feature vector."""
+        ...
+
+    def score_request(self, request: ClientRequest) -> float:
+        """Convenience wrapper scoring a :class:`ClientRequest`."""
+        ...
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Maps a reputation score to a puzzle difficulty (leading zero bits).
+
+    Implementations may be randomized (the paper's Policy 3 draws the
+    difficulty from an interval); they receive the RNG explicitly so runs
+    stay reproducible.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        """Return the puzzle difficulty for ``score`` ∈ [0, 10]."""
+        ...
+
+
+@runtime_checkable
+class PuzzleIssuer(Protocol):
+    """Generates PoW puzzles carrying timestamp, unique seed, difficulty."""
+
+    def issue(self, client_ip: str, difficulty: int, now: float):
+        """Create a puzzle bound to ``client_ip`` at time ``now``."""
+        ...
+
+
+@runtime_checkable
+class PuzzleVerifier(Protocol):
+    """Lightweight server-side check of a returned puzzle solution."""
+
+    def verify(self, puzzle, solution, client_ip: str, now: float):
+        """Validate ``solution``; raise a ``PuzzleError`` subclass if bad."""
+        ...
+
+
+@runtime_checkable
+class PuzzleSolver(Protocol):
+    """Client-side component that grinds nonces until the target is met."""
+
+    def solve(self, puzzle, client_ip: str):
+        """Return a solution whose hash has the required zero prefix."""
+        ...

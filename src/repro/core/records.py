@@ -1,0 +1,129 @@
+"""Immutable record types that flow through the framework pipeline.
+
+The framework's data plane is deliberately plain: a :class:`ClientRequest`
+enters, an :class:`IssuerDecision` captures what the AI model and policy
+decided for it, and a :class:`ServedResponse` records the outcome.  All
+three are frozen dataclasses so that pipeline hooks and metrics collectors
+can hold references without defensive copying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping
+
+__all__ = [
+    "ClientRequest",
+    "IssuerDecision",
+    "ResponseStatus",
+    "ServedResponse",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClientRequest:
+    """A single inbound HTTP-style request, as seen by the server.
+
+    Parameters
+    ----------
+    client_ip:
+        Dotted-quad source address of the request.  Used both as the key
+        for reputation lookups and as part of the puzzle's immutable
+        prefix (step 4 of the paper's architecture).
+    resource:
+        The resource path being requested, e.g. ``"/index.html"``.
+    timestamp:
+        Arrival time in seconds.  In simulation this is simulated time;
+        in the live server it is ``time.time()``.
+    features:
+        IP-traffic feature mapping consumed by the AI model.  Keys must
+        match the feature schema the model was fitted with.
+    request_id:
+        Opaque identifier assigned by the transport, unique per request.
+    """
+
+    client_ip: str
+    resource: str
+    timestamp: float
+    features: Mapping[str, float]
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.client_ip:
+            raise ValueError("client_ip must be non-empty")
+        if not self.resource.startswith("/"):
+            raise ValueError(f"resource must start with '/': {self.resource!r}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class IssuerDecision:
+    """What the adaptive issuer decided for one request.
+
+    Captures the full reputation → policy → difficulty chain so that
+    metrics, audits, and tests can reconstruct why a client received the
+    puzzle it did.
+    """
+
+    request: ClientRequest
+    reputation_score: float
+    difficulty: int
+    policy_name: str
+    model_name: str
+
+    def __post_init__(self) -> None:
+        if self.difficulty < 0:
+            raise ValueError(f"difficulty must be >= 0, got {self.difficulty}")
+
+
+class ResponseStatus(enum.Enum):
+    """Terminal status of one request's journey through the framework."""
+
+    SERVED = "served"
+    """The client solved its puzzle and received the resource."""
+
+    REJECTED = "rejected"
+    """The solution failed verification (wrong nonce, tampering)."""
+
+    EXPIRED = "expired"
+    """The puzzle's TTL elapsed before a valid solution arrived."""
+
+    REPLAYED = "replayed"
+    """The solution was valid but had already been redeemed."""
+
+    ABANDONED = "abandoned"
+    """The client gave up (e.g. nonce exhaustion or attacker timeout)."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ServedResponse:
+    """The outcome of a request, with end-to-end timing.
+
+    ``latency`` is the paper's headline metric: elapsed time between the
+    client issuing the request and receiving the server's final response,
+    including puzzle solve time.
+    """
+
+    decision: IssuerDecision
+    status: ResponseStatus
+    latency: float
+    solve_attempts: int = 0
+    body: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.solve_attempts < 0:
+            raise ValueError(
+                f"solve_attempts must be >= 0, got {self.solve_attempts}"
+            )
+
+    @property
+    def served(self) -> bool:
+        """True when the client received the requested resource."""
+        return self.status is ResponseStatus.SERVED
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency converted to milliseconds (the unit used in Figure 2)."""
+        return self.latency * 1000.0

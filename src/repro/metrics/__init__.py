@@ -1,0 +1,20 @@
+"""Metrics substrate: streaming stats, quantiles, collectors, reports."""
+
+from repro.metrics.collector import ClassMetrics, MetricsCollector
+from repro.metrics.histogram import LatencyHistogram, SampleSet
+from repro.metrics.reporting import ascii_chart, render_series, render_table
+from repro.metrics.stats import StreamingStats
+from repro.metrics.timeseries import TimelineCollector, TimeSeries
+
+__all__ = [
+    "StreamingStats",
+    "TimeSeries",
+    "TimelineCollector",
+    "SampleSet",
+    "LatencyHistogram",
+    "MetricsCollector",
+    "ClassMetrics",
+    "render_table",
+    "render_series",
+    "ascii_chart",
+]

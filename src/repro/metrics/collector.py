@@ -1,0 +1,111 @@
+"""Metrics collection from framework events.
+
+:class:`MetricsCollector` subscribes to a framework's
+:class:`~repro.core.events.EventBus` and accumulates per-outcome and
+per-class measurements: latency sample sets, difficulty distribution,
+score distribution, and outcome counters.  A *classifier* callable maps
+each response to a breakdown key (e.g. profile name, "benign"/"attack"),
+enabling the throttling experiment's per-class latency comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.events import EventBus, EventKind, FrameworkEvent
+from repro.core.records import ResponseStatus, ServedResponse
+from repro.metrics.histogram import SampleSet
+from repro.metrics.stats import StreamingStats
+
+__all__ = ["MetricsCollector", "ClassMetrics"]
+
+Classifier = Callable[[ServedResponse], str]
+
+
+class ClassMetrics:
+    """Accumulated measurements for one breakdown class."""
+
+    def __init__(self) -> None:
+        self.latencies = SampleSet()
+        self.served_latencies = SampleSet()
+        self.scores = StreamingStats()
+        self.difficulties = StreamingStats()
+        self.attempts = StreamingStats()
+        self.outcomes: dict[ResponseStatus, int] = {
+            status: 0 for status in ResponseStatus
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def served(self) -> int:
+        return self.outcomes[ResponseStatus.SERVED]
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of requests that ended in a served resource."""
+        total = self.total
+        return self.served / total if total else 0.0
+
+    def observe(self, response: ServedResponse) -> None:
+        """Fold one response into the accumulators."""
+        self.outcomes[response.status] += 1
+        self.latencies.add(response.latency)
+        if response.served:
+            self.served_latencies.add(response.latency)
+        self.scores.add(response.decision.reputation_score)
+        self.difficulties.add(response.decision.difficulty)
+        self.attempts.add(response.solve_attempts)
+
+
+class MetricsCollector:
+    """Collects responses, optionally broken down by a classifier.
+
+    Use either as an event subscriber (``collector.attach(bus)``) or by
+    calling :meth:`observe` directly from simulator code.
+    """
+
+    #: Key under which unclassified traffic accumulates.
+    OVERALL = "overall"
+
+    def __init__(self, classifier: Classifier | None = None) -> None:
+        self._classifier = classifier
+        self._classes: dict[str, ClassMetrics] = {}
+
+    def attach(self, bus: EventBus) -> "MetricsCollector":
+        """Subscribe to RESPONSE_SERVED events on ``bus``; returns self."""
+        bus.subscribe(self._on_event, kinds=[EventKind.RESPONSE_SERVED])
+        return self
+
+    def _on_event(self, event: FrameworkEvent) -> None:
+        response = event.payload.get("response")
+        if isinstance(response, ServedResponse):
+            self.observe(response)
+
+    def observe(self, response: ServedResponse) -> None:
+        """Fold ``response`` into the overall and per-class metrics."""
+        self._class(self.OVERALL).observe(response)
+        if self._classifier is not None:
+            self._class(self._classifier(response)).observe(response)
+
+    def _class(self, key: str) -> ClassMetrics:
+        if key not in self._classes:
+            self._classes[key] = ClassMetrics()
+        return self._classes[key]
+
+    @property
+    def overall(self) -> ClassMetrics:
+        """Metrics across all traffic."""
+        return self._class(self.OVERALL)
+
+    def class_names(self) -> tuple[str, ...]:
+        """Breakdown keys seen so far (excluding the overall bucket)."""
+        return tuple(
+            sorted(k for k in self._classes if k != self.OVERALL)
+        )
+
+    def for_class(self, key: str) -> ClassMetrics:
+        """Metrics for one breakdown class; empty metrics if unseen."""
+        return self._class(key)

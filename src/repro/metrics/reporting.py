@@ -1,0 +1,103 @@
+"""ASCII rendering of experiment results: tables and series.
+
+The bench harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and consistent.  No plotting libraries
+are used (the environment is offline) — Figure 2 is emitted both as a
+table and as an ASCII chart.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "ascii_chart"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Cells are stringified; floats get sensible default formatting.
+    """
+    if not headers:
+        raise ValueError("table needs at least one header")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render several named series against a shared x axis as a table."""
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def ascii_chart(
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Horizontal-bar chart: one block per (x, series) pair.
+
+    Bars share a common scale so series are visually comparable — the
+    closest plain-text analogue of the paper's Figure 2.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    peak = max((max(ys) if ys else 0.0) for ys in series.values())
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    markers = "#*o+x%@&"
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        lines.append(f"-- {name} [{marker}]")
+        for x, y in zip(xs, ys):
+            bar = marker * max(0, int(round(width * y / peak)))
+            lines.append(f"{str(x):>6} | {bar} {y:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Network substrates: the discrete-event simulator and the live server.
+
+``repro.net.sim`` provides the deterministic environment used for every
+paper experiment; ``repro.net.live`` provides a real TCP server/client
+pair exercising the same framework code path with real hashing.
+"""
+
+from repro.net.live import LiveClient, LiveServer
+from repro.net.sim import (
+    EventEngine,
+    FixedDelayChannel,
+    ServerModel,
+    Simulation,
+    SimulationReport,
+    SolveTimeModel,
+)
+
+__all__ = [
+    "EventEngine",
+    "Simulation",
+    "SimulationReport",
+    "ServerModel",
+    "SolveTimeModel",
+    "FixedDelayChannel",
+    "LiveServer",
+    "LiveClient",
+]

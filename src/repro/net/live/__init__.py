@@ -1,0 +1,28 @@
+"""Live TCP substrate: real sockets, real hashing, real latency."""
+
+from repro.net.live.client import FetchResult, LiveClient
+from repro.net.live.protocol import (
+    MAX_LINE_BYTES,
+    encode_err,
+    encode_ok,
+    encode_request,
+    parse_reply,
+    parse_request,
+    read_line,
+    send_line,
+)
+from repro.net.live.server import LiveServer
+
+__all__ = [
+    "LiveServer",
+    "LiveClient",
+    "FetchResult",
+    "MAX_LINE_BYTES",
+    "encode_request",
+    "parse_request",
+    "encode_ok",
+    "encode_err",
+    "parse_reply",
+    "read_line",
+    "send_line",
+]

@@ -1,0 +1,108 @@
+"""Blocking client for the live protocol: the paper's *solver* role.
+
+:class:`LiveClient` connects, sends a request, receives the puzzle,
+grinds it with a real :class:`~repro.pow.solver.HashSolver`, submits the
+solution, and returns the served body with end-to-end timing — one full
+pass of the paper's Figure 1 over real sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import time
+from typing import Mapping
+
+from repro.core.errors import ProtocolError
+from repro.net.live import protocol
+from repro.pow.puzzle import Puzzle
+from repro.pow.solver import HashSolver
+
+__all__ = ["LiveClient", "FetchResult"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FetchResult:
+    """Outcome of one live exchange."""
+
+    ok: bool
+    body: str
+    latency: float
+    difficulty: int
+    attempts: int
+    solve_seconds: float
+
+
+class LiveClient:
+    """Connect-per-request client that solves puzzles honestly.
+
+    Parameters
+    ----------
+    address:
+        (host, port) of a :class:`~repro.net.live.server.LiveServer`.
+    solver:
+        Nonce grinder; defaults to a fresh 32-bit :class:`HashSolver`.
+    timeout:
+        Socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        solver: HashSolver | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.address = address
+        self.solver = solver or HashSolver()
+        self.timeout = timeout
+
+    def fetch(
+        self, resource: str, features: Mapping[str, float]
+    ) -> FetchResult:
+        """Run one full request/solve/redeem exchange."""
+        started = time.perf_counter()
+        with socket.create_connection(self.address, timeout=self.timeout) as sock:
+            protocol.send_line(
+                sock, protocol.encode_request(resource, features)
+            )
+            puzzle = Puzzle.from_wire(protocol.read_line(sock))
+
+            # The server binds the puzzle to the address it sees; use the
+            # same one (our side of this connection).
+            my_ip = sock.getsockname()[0]
+            solution = self.solver.solve(puzzle, my_ip)
+            protocol.send_line(sock, solution.to_wire())
+
+            ok, body = protocol.parse_reply(protocol.read_line(sock))
+        return FetchResult(
+            ok=ok,
+            body=body,
+            latency=time.perf_counter() - started,
+            difficulty=puzzle.difficulty,
+            attempts=solution.attempts,
+            solve_seconds=solution.elapsed,
+        )
+
+    def fetch_raw(
+        self,
+        resource: str,
+        features: Mapping[str, float],
+        solution_line: str,
+    ) -> tuple[bool, str]:
+        """Send a request but submit ``solution_line`` verbatim.
+
+        Test hook for failure injection (bad nonces, tampered frames);
+        returns the parsed (ok, body/reason) reply.
+        """
+        with socket.create_connection(self.address, timeout=self.timeout) as sock:
+            protocol.send_line(
+                sock, protocol.encode_request(resource, features)
+            )
+            Puzzle.from_wire(protocol.read_line(sock))  # consume the puzzle
+            protocol.send_line(sock, solution_line)
+            try:
+                return protocol.parse_reply(protocol.read_line(sock))
+            except ProtocolError:
+                return False, "connection closed"

@@ -1,0 +1,175 @@
+"""Threaded TCP server running the framework pipeline for real.
+
+:class:`LiveServer` wraps an :class:`~repro.core.framework.AIPoWFramework`
+behind the line protocol of :mod:`repro.net.live.protocol`.  One thread
+per connection; the framework itself is guarded by a lock (scoring is
+read-only, but the replay cache and RNG are shared mutable state).
+
+This is the wall-clock path of the reproduction: real sockets, real
+hashes, real latency — used by the live examples and integration tests,
+while large-scale experiments use the simulator.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+
+from repro.core.errors import ProtocolError, ReproError
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ClientRequest
+from repro.net.live import protocol
+from repro.pow.puzzle import Solution
+
+__all__ = ["LiveServer"]
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """Runs the REQUEST → PUZZLE → SOLUTION → OK/ERR exchange."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        server: "_FrameworkTCPServer" = self.server  # type: ignore[assignment]
+        sock: socket.socket = self.request
+        sock.settimeout(server.live.io_timeout)
+        try:
+            self._exchange(server, sock)
+        except (ProtocolError, OSError):
+            # A malformed or dropped peer only affects its own connection.
+            return
+
+    def _exchange(
+        self, server: "_FrameworkTCPServer", sock: socket.socket
+    ) -> None:
+        line = protocol.read_line(sock)
+        try:
+            resource, features = protocol.parse_request(line)
+        except ProtocolError as exc:
+            protocol.send_line(sock, protocol.encode_err(str(exc)))
+            raise
+
+        client_ip = self.client_address[0]
+        if server.live.admission is not None:
+            decision = server.live.admission.check(client_ip, time.time())
+            if not decision.admitted:
+                protocol.send_line(
+                    sock, protocol.encode_err(f"admission: {decision.reason}")
+                )
+                return
+        request = ClientRequest(
+            client_ip=client_ip,
+            resource=resource,
+            timestamp=time.time(),
+            features=features,
+        )
+        try:
+            with server.live.lock:
+                challenge = server.live.framework.challenge(request)
+        except ReproError as exc:
+            protocol.send_line(sock, protocol.encode_err(f"challenge: {exc}"))
+            return
+
+        protocol.send_line(sock, challenge.puzzle.to_wire())
+
+        solution_line = protocol.read_line(sock)
+        solution = Solution.from_wire(solution_line)
+        with server.live.lock:
+            response = server.live.framework.redeem(challenge, solution)
+        if response.served:
+            protocol.send_line(sock, protocol.encode_ok(response.body))
+        else:
+            protocol.send_line(
+                sock, protocol.encode_err(response.status.value)
+            )
+        server.live.record(response)
+
+
+class _FrameworkTCPServer(socketserver.ThreadingTCPServer):
+    """ThreadingTCPServer carrying a reference to the LiveServer."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, live: "LiveServer") -> None:
+        super().__init__(address, _ConnectionHandler)
+        self.live = live
+
+
+class LiveServer:
+    """A real TCP front-end for the framework.
+
+    Use as a context manager in tests and examples::
+
+        with LiveServer(framework) as server:
+            client = LiveClient(server.address)
+            body = client.fetch("/index.html", features)
+
+    Parameters
+    ----------
+    framework:
+        The configured pipeline to expose.
+    host / port:
+        Bind address; port 0 picks a free port.
+    io_timeout:
+        Per-socket timeout in seconds.
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionControl`
+        pre-filter; requests it drops get an ``ERR admission: ...``
+        reply before any scoring happens.
+    """
+
+    def __init__(
+        self,
+        framework: AIPoWFramework,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 30.0,
+        admission=None,
+    ) -> None:
+        if io_timeout <= 0:
+            raise ValueError(f"io_timeout must be > 0, got {io_timeout}")
+        self.framework = framework
+        self.io_timeout = io_timeout
+        self.admission = admission
+        self.lock = threading.Lock()
+        self.responses: list = []
+        self._tcp = _FrameworkTCPServer((host, port), self)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        return self._tcp.server_address[:2]
+
+    def record(self, response) -> None:
+        """Remember a completed exchange (bounded to the last 10 000)."""
+        with self.lock:
+            self.responses.append(response)
+            if len(self.responses) > 10_000:
+                del self.responses[: len(self.responses) - 10_000]
+
+    def start(self) -> "LiveServer":
+        """Start serving on a background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-live-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is None:
+            return
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "LiveServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,33 @@
+"""Discrete-event simulation of the framework's network environment."""
+
+from repro.net.sim.channel import (
+    Channel,
+    FixedDelayChannel,
+    LognormalChannel,
+    UniformJitterChannel,
+)
+from repro.net.sim.closedloop import (
+    ClosedLoopReport,
+    ClosedLoopSimulation,
+    SessionSpec,
+)
+from repro.net.sim.engine import EventEngine, ScheduledEvent
+from repro.net.sim.simulation import ServerModel, Simulation, SimulationReport
+from repro.net.sim.solvetime import SolveSample, SolveTimeModel
+
+__all__ = [
+    "EventEngine",
+    "ScheduledEvent",
+    "Channel",
+    "FixedDelayChannel",
+    "UniformJitterChannel",
+    "LognormalChannel",
+    "SolveTimeModel",
+    "SolveSample",
+    "Simulation",
+    "SimulationReport",
+    "ServerModel",
+    "ClosedLoopSimulation",
+    "ClosedLoopReport",
+    "SessionSpec",
+]

@@ -1,0 +1,79 @@
+"""Network channel models: one-way delay sampling.
+
+The paper's testbed is "a simple networked client-server environment";
+its fixed overhead shows up as the ~31 ms floor on 1-difficult puzzles.
+Channels model the network half of that floor.  Each model samples
+*one-way* delays; a request/challenge/solution/response exchange crosses
+the channel four times.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "Channel",
+    "FixedDelayChannel",
+    "UniformJitterChannel",
+    "LognormalChannel",
+]
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """Samples one-way network delays in seconds."""
+
+    def one_way_delay(self, rng: random.Random) -> float: ...
+
+
+class FixedDelayChannel:
+    """Constant one-way delay — the deterministic default.
+
+    The default quarter of :attr:`~repro.core.config.TimingConfig.network_overhead`
+    makes four crossings sum to the calibrated overhead exactly.
+    """
+
+    def __init__(self, delay: float = 0.030 / 4) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def one_way_delay(self, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformJitterChannel:
+    """Base delay plus uniform jitter in ``[0, jitter]`` seconds."""
+
+    def __init__(self, base: float = 0.006, jitter: float = 0.003) -> None:
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.base = base
+        self.jitter = jitter
+
+    def one_way_delay(self, rng: random.Random) -> float:
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+class LognormalChannel:
+    """Heavy-tailed delays: ``exp(N(mu, sigma))`` seconds.
+
+    Internet one-way delays are right-skewed; this model exercises the
+    framework's behaviour under realistic tail latency.
+    """
+
+    def __init__(self, median: float = 0.0075, sigma: float = 0.35) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be > 0, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        import math
+
+        self.mu = math.log(median)
+        self.sigma = sigma
+
+    def one_way_delay(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)

@@ -1,0 +1,248 @@
+"""Closed-loop client sessions for the simulator.
+
+The trace-driven :class:`~repro.net.sim.simulation.Simulation` is
+*open-loop*: requests arrive on a fixed schedule regardless of how the
+server responds.  Real users are closed-loop — they wait for a page,
+think, then click again — which changes the dynamics fundamentally:
+PoW-induced latency *reduces a closed-loop client's own offered load*,
+an effect the open-loop model cannot show.
+
+:class:`ClosedLoopSimulation` drives sessions instead of traces: each
+client repeatedly (request → solve → response → think) for a fixed
+number of exchanges.  It reuses the same framework, channel, solve-time
+and server-queue models as the open-loop simulation, so results are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Mapping, Sequence
+
+from repro.core.events import EventKind
+from repro.core.framework import AIPoWFramework, Challenge
+from repro.core.records import ResponseStatus, ServedResponse
+from repro.metrics.collector import MetricsCollector
+from repro.net.sim.channel import Channel, FixedDelayChannel
+from repro.net.sim.engine import EventEngine
+from repro.net.sim.simulation import ServerModel
+from repro.net.sim.solvetime import SolveTimeModel
+from repro.traffic.generator import SimClientSpec
+
+__all__ = ["SessionSpec", "ClosedLoopReport", "ClosedLoopSimulation"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SessionSpec:
+    """One closed-loop client session.
+
+    Parameters
+    ----------
+    client:
+        The concrete client (address, features, profile).
+    exchanges:
+        Number of request/response cycles the session attempts.
+    think_time:
+        Mean seconds between receiving a response and the next request
+        (exponentially distributed).
+    start:
+        Session start time.
+    """
+
+    client: SimClientSpec
+    exchanges: int = 10
+    think_time: float = 1.0
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exchanges < 1:
+            raise ValueError(f"exchanges must be >= 1, got {self.exchanges}")
+        if self.think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {self.think_time}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+
+
+@dataclasses.dataclass
+class ClosedLoopReport:
+    """Outcome of a closed-loop run."""
+
+    metrics: MetricsCollector
+    duration: float
+    sessions: int
+    completed_exchanges: int
+
+    @property
+    def throughput(self) -> float:
+        """Served exchanges per second of simulated time."""
+        served = self.metrics.overall.served
+        return served / self.duration if self.duration > 0 else 0.0
+
+
+class ClosedLoopSimulation:
+    """Session-driven simulation sharing the open-loop server model."""
+
+    def __init__(
+        self,
+        framework: AIPoWFramework,
+        channel: Channel | None = None,
+        server_model: ServerModel | None = None,
+        seed: int = 4321,
+        hash_rates: Mapping[str, float] | None = None,
+    ) -> None:
+        self.framework = framework
+        timing = framework.config.timing
+        self.channel = channel or FixedDelayChannel(timing.network_overhead / 4)
+        self.server_model = server_model or ServerModel()
+        self.solve_time = SolveTimeModel(timing)
+        self.engine = EventEngine()
+        self.rng = random.Random(seed)
+        self.hash_rates = dict(hash_rates or {})
+        self.metrics = MetricsCollector(classifier=self._classify)
+        self._profiles: dict[str, str] = {}
+        self._server_busy_until = 0.0
+        self._completed = 0
+
+    def _classify(self, response: ServedResponse) -> str:
+        return self._profiles.get(
+            response.decision.request.client_ip, "unknown"
+        )
+
+    def _delay(self) -> float:
+        return self.channel.one_way_delay(self.rng)
+
+    def _server_complete(self, arrival: float, cost: float) -> float:
+        start = max(arrival, self._server_busy_until)
+        self._server_busy_until = start + cost
+        return self._server_busy_until
+
+    # ------------------------------------------------------------------
+    def add_session(self, session: SessionSpec) -> None:
+        """Register a session; its first request fires at ``session.start``."""
+        self._profiles[session.client.ip] = session.client.profile.name
+        self.engine.schedule_at(
+            session.start,
+            lambda: self._begin_exchange(session, remaining=session.exchanges),
+        )
+
+    def _begin_exchange(self, session: SessionSpec, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        from repro.core.records import ClientRequest
+
+        now = self.engine.now
+        request = ClientRequest(
+            client_ip=session.client.ip,
+            resource="/session",
+            timestamp=now,
+            features=session.client.features,
+        )
+        arrive = now + self._delay()
+        self.engine.schedule_at(
+            arrive,
+            lambda: self._serve(session, request, remaining),
+        )
+
+    def _serve(self, session: SessionSpec, request, remaining: int) -> None:
+        now = self.engine.now
+        issue_at = self._server_complete(now, self.server_model.challenge_cost)
+
+        def issue() -> None:
+            challenge = self.framework.challenge(request, now=self.engine.now)
+            self.engine.schedule_at(
+                self.engine.now + self._delay(),
+                lambda: self._solve(session, challenge, remaining),
+            )
+
+        self.engine.schedule_at(issue_at, issue)
+
+    def _solve(
+        self, session: SessionSpec, challenge: Challenge, remaining: int
+    ) -> None:
+        now = self.engine.now
+        profile = session.client.profile
+        rate = self.hash_rates.get(profile.name, profile.hash_rate)
+        sample = self.solve_time.sample(
+            challenge.decision.difficulty, self.rng, rate
+        )
+        if sample.seconds > profile.patience:
+            finish_at = now + profile.patience
+            self.engine.schedule_at(
+                finish_at,
+                lambda: self._finish(
+                    session, challenge, ResponseStatus.ABANDONED,
+                    remaining, sample.attempts,
+                ),
+            )
+            return
+        submit_at = now + sample.seconds + self._delay()
+        self.engine.schedule_at(
+            submit_at,
+            lambda: self._redeem(session, challenge, remaining, sample.attempts),
+        )
+
+    def _redeem(
+        self,
+        session: SessionSpec,
+        challenge: Challenge,
+        remaining: int,
+        attempts: int,
+    ) -> None:
+        now = self.engine.now
+        cost = self.server_model.verify_cost + self.server_model.resource_cost
+        done = self._server_complete(now, cost)
+        self.engine.schedule_at(
+            done + self._delay(),
+            lambda: self._finish(
+                session, challenge, ResponseStatus.SERVED, remaining, attempts
+            ),
+        )
+
+    def _finish(
+        self,
+        session: SessionSpec,
+        challenge: Challenge,
+        status: ResponseStatus,
+        remaining: int,
+        attempts: int,
+    ) -> None:
+        now = self.engine.now
+        response = ServedResponse(
+            decision=challenge.decision,
+            status=status,
+            latency=max(0.0, now - challenge.decision.request.timestamp),
+            solve_attempts=attempts,
+        )
+        self.metrics.observe(response)
+        self.framework.events.emit(
+            EventKind.RESPONSE_SERVED, now, response=response
+        )
+        self._completed += 1
+        if remaining - 1 > 0:
+            think = (
+                self.rng.expovariate(1.0 / session.think_time)
+                if session.think_time > 0
+                else 0.0
+            )
+            self.engine.schedule_at(
+                now + think,
+                lambda: self._begin_exchange(session, remaining - 1),
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, sessions: Sequence[SessionSpec], until: float | None = None
+    ) -> ClosedLoopReport:
+        """Drive ``sessions`` to completion (or ``until``)."""
+        if not sessions:
+            raise ValueError("need at least one session")
+        for session in sessions:
+            self.add_session(session)
+        self.engine.run(until=until)
+        return ClosedLoopReport(
+            metrics=self.metrics,
+            duration=self.engine.now,
+            sessions=len(sessions),
+            completed_exchanges=self._completed,
+        )

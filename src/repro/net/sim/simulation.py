@@ -1,0 +1,324 @@
+"""End-to-end simulation of the framework in a client-server network.
+
+:class:`Simulation` replays a :class:`~repro.traffic.trace.Trace`
+through an :class:`~repro.core.framework.AIPoWFramework` over a modelled
+network, reproducing the paper's environment (DESIGN.md §2):
+
+* **network** — each leg of the request/challenge/solution/response
+  exchange crosses a :class:`~repro.net.sim.channel.Channel`;
+* **server** — a single FIFO queue with distinct costs for issuing a
+  challenge, verifying a solution, and serving the resource (issuing and
+  verifying are cheap; serving is the expensive step PoW protects);
+* **client CPU** — per-address serialisation: a client grinding one
+  puzzle cannot simultaneously grind another, which is exactly how PoW
+  throttles flooding sources;
+* **solving** — geometric attempt sampling via
+  :class:`~repro.net.sim.solvetime.SolveTimeModel`.
+
+Clients abandon puzzles exceeding their profile's patience, and
+per-profile *solve deciders* let attack models refuse puzzles outright
+(a pure flood).  Every terminal outcome is emitted as a
+:class:`~repro.core.records.ServedResponse` both to the simulation's
+:class:`~repro.metrics.collector.MetricsCollector` and onto the
+framework's event bus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Mapping
+
+from repro.core.events import EventKind
+from repro.core.framework import AIPoWFramework, Challenge
+from repro.core.records import ResponseStatus, ServedResponse
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeseries import TimelineCollector
+from repro.policies.adaptive import LoadAdaptivePolicy
+from repro.net.sim.channel import Channel, FixedDelayChannel
+from repro.net.sim.engine import EventEngine
+from repro.net.sim.solvetime import SolveTimeModel
+from repro.traffic.trace import Trace, TraceEntry
+
+__all__ = ["ServerModel", "Simulation", "SimulationReport"]
+
+#: Decides whether a client solves a puzzle of the given difficulty.
+SolveDecider = Callable[[int], bool]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ServerModel:
+    """Server-side work costs, in seconds of FIFO service time.
+
+    ``challenge_cost`` covers scoring, policy lookup and puzzle
+    generation; ``verify_cost`` the lightweight solution check;
+    ``resource_cost`` the actual work of serving the requested resource
+    — the expensive step a DDoS tries to trigger en masse.
+    """
+
+    challenge_cost: float = 0.0002
+    verify_cost: float = 0.0001
+    resource_cost: float = 0.002
+
+    def __post_init__(self) -> None:
+        for field in ("challenge_cost", "verify_cost", "resource_cost"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+
+
+@dataclasses.dataclass
+class SimulationReport:
+    """Outcome of one simulation run."""
+
+    metrics: MetricsCollector
+    duration: float
+    requests: int
+    events_processed: int
+
+    @property
+    def served(self) -> int:
+        return self.metrics.overall.served
+
+    @property
+    def goodput(self) -> float:
+        """Served responses per second of simulated time."""
+        return self.served / self.duration if self.duration > 0 else 0.0
+
+
+class Simulation:
+    """Replays traces through the framework over a modelled network.
+
+    Parameters
+    ----------
+    framework:
+        The configured server pipeline.  Its
+        :attr:`~repro.core.config.FrameworkConfig.timing` provides the
+        default hash rate for the solve-time model.
+    channel:
+        One-way delay model; defaults to the calibrated fixed delay.
+    server_model:
+        FIFO service costs.
+    seed:
+        Seed for all randomness this run introduces (delays, solve
+        sampling, solve decisions).
+    pow_enabled:
+        When False, the server skips the whole PoW exchange and serves
+        every request directly — the "no defense" baseline of the
+        throttling experiment.
+    solve_deciders:
+        Optional per-profile hooks; returning False makes that client
+        drop the puzzle (counted as ABANDONED).
+    hash_rates:
+        Optional per-profile hash-rate overrides (evaluations/second).
+    patiences:
+        Optional per-profile patience overrides in seconds (how long a
+        client grinds one puzzle before abandoning); default 30 s.
+    timeline:
+        Optional :class:`TimelineCollector` receiving every terminal
+        response with its completion time (attack-onset analysis).
+    load_reference:
+        Server backlog (seconds of queued work) that counts as load
+        1.0 when feeding a :class:`LoadAdaptivePolicy`.
+    """
+
+    def __init__(
+        self,
+        framework: AIPoWFramework,
+        channel: Channel | None = None,
+        server_model: ServerModel | None = None,
+        seed: int = 1234,
+        pow_enabled: bool = True,
+        solve_deciders: Mapping[str, SolveDecider] | None = None,
+        hash_rates: Mapping[str, float] | None = None,
+        patiences: Mapping[str, float] | None = None,
+        timeline: TimelineCollector | None = None,
+        load_reference: float = 0.1,
+    ) -> None:
+        if load_reference <= 0:
+            raise ValueError(
+                f"load_reference must be > 0, got {load_reference}"
+            )
+        self.framework = framework
+        timing = framework.config.timing
+        self.channel = channel or FixedDelayChannel(timing.network_overhead / 4)
+        self.server_model = server_model or ServerModel()
+        self.solve_time = SolveTimeModel(timing)
+        self.engine = EventEngine()
+        self.rng = random.Random(seed)
+        self.pow_enabled = pow_enabled
+        self.solve_deciders = dict(solve_deciders or {})
+        self.hash_rates = dict(hash_rates or {})
+        self.patiences = dict(patiences or {})
+        self.timeline = timeline
+        self.load_reference = load_reference
+
+        self._server_busy_until = 0.0
+        self._cpu_free_at: dict[str, float] = {}
+        self._profiles: dict[str, str] = {}
+        self.metrics = MetricsCollector(classifier=self._classify)
+        self._requests = 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _classify(self, response: ServedResponse) -> str:
+        return self._profiles.get(response.decision.request.client_ip, "unknown")
+
+    def _server_complete(self, arrival: float, cost: float) -> float:
+        """FIFO server: when work arriving at ``arrival`` finishes.
+
+        Also feeds the backlog-derived load signal to a
+        :class:`LoadAdaptivePolicy`, when one is installed.
+        """
+        backlog = max(0.0, self._server_busy_until - arrival)
+        start = max(arrival, self._server_busy_until)
+        self._server_busy_until = start + cost
+        policy = self.framework.policy
+        if isinstance(policy, LoadAdaptivePolicy):
+            policy.observe_load(backlog / self.load_reference)
+        return self._server_busy_until
+
+    def _delay(self) -> float:
+        return self.channel.one_way_delay(self.rng)
+
+    def _finish(
+        self,
+        challenge: Challenge,
+        status: ResponseStatus,
+        now: float,
+        attempts: int = 0,
+    ) -> None:
+        """Emit a terminal outcome for one request."""
+        response = ServedResponse(
+            decision=challenge.decision,
+            status=status,
+            latency=max(0.0, now - challenge.decision.request.timestamp),
+            solve_attempts=attempts,
+            body=(
+                f"resource:{challenge.decision.request.resource}"
+                if status is ResponseStatus.SERVED
+                else ""
+            ),
+        )
+        self.metrics.observe(response)
+        if self.timeline is not None:
+            profile = self._profiles.get(
+                challenge.decision.request.client_ip, "unknown"
+            )
+            self.timeline.observe(profile, response, at=now)
+        self.framework.events.emit(
+            EventKind.RESPONSE_SERVED, now, response=response
+        )
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, entry: TraceEntry) -> None:
+        """Schedule one trace entry's arrival at its request timestamp."""
+        self._profiles[entry.request.client_ip] = entry.profile
+        self._requests += 1
+        self.engine.schedule_at(
+            entry.request.timestamp + self._delay(),
+            lambda: self._on_server_receive(entry),
+        )
+
+    def _on_server_receive(self, entry: TraceEntry) -> None:
+        now = self.engine.now
+        if not self.pow_enabled:
+            done = self._server_complete(now, self.server_model.resource_cost)
+            challenge = self.framework.challenge(entry.request, now=now)
+            self.engine.schedule_at(
+                done + self._delay(),
+                lambda: self._finish(
+                    challenge, ResponseStatus.SERVED, self.engine.now
+                ),
+            )
+            return
+
+        issue_at = self._server_complete(now, self.server_model.challenge_cost)
+        self.engine.schedule_at(
+            issue_at, lambda: self._on_challenge_issued(entry)
+        )
+
+    def _on_challenge_issued(self, entry: TraceEntry) -> None:
+        now = self.engine.now
+        challenge = self.framework.challenge(entry.request, now=now)
+        self.engine.schedule_at(
+            now + self._delay(),
+            lambda: self._on_client_receive_puzzle(entry, challenge),
+        )
+
+    def _on_client_receive_puzzle(
+        self, entry: TraceEntry, challenge: Challenge
+    ) -> None:
+        now = self.engine.now
+        difficulty = challenge.decision.difficulty
+        profile = entry.profile
+
+        decider = self.solve_deciders.get(profile)
+        if decider is not None and not decider(difficulty):
+            self._finish(challenge, ResponseStatus.ABANDONED, now)
+            return
+
+        ip = entry.request.client_ip
+        patience = self.patiences.get(profile, 30.0)
+        hash_rate = self.hash_rates.get(profile)
+        sample = self.solve_time.sample(difficulty, self.rng, hash_rate)
+        start = max(now, self._cpu_free_at.get(ip, 0.0))
+        solve_end = start + sample.seconds
+
+        if solve_end - now > patience:
+            give_up_at = now + patience
+            self._cpu_free_at[ip] = give_up_at
+            self.engine.schedule_at(
+                give_up_at,
+                lambda: self._finish(
+                    challenge,
+                    ResponseStatus.ABANDONED,
+                    self.engine.now,
+                    attempts=sample.attempts,
+                ),
+            )
+            return
+
+        self._cpu_free_at[ip] = solve_end
+        self.engine.schedule_at(
+            solve_end + self._delay(),
+            lambda: self._on_server_receive_solution(
+                challenge, sample.attempts
+            ),
+        )
+
+    def _on_server_receive_solution(
+        self, challenge: Challenge, attempts: int
+    ) -> None:
+        now = self.engine.now
+        expired = (
+            challenge.puzzle.age(now) > self.framework.config.pow.ttl
+        )
+        cost = self.server_model.verify_cost
+        if not expired:
+            cost += self.server_model.resource_cost
+        done = self._server_complete(now, cost)
+        status = (
+            ResponseStatus.EXPIRED if expired else ResponseStatus.SERVED
+        )
+        self.engine.schedule_at(
+            done + self._delay(),
+            lambda: self._finish(challenge, status, self.engine.now, attempts),
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, until: float | None = None) -> SimulationReport:
+        """Replay ``trace`` to completion (or ``until``) and report."""
+        for entry in trace:
+            self.submit(entry)
+        self.engine.run(until=until)
+        return SimulationReport(
+            metrics=self.metrics,
+            duration=self.engine.now,
+            requests=self._requests,
+            events_processed=self.engine.processed_count,
+        )

@@ -1,0 +1,82 @@
+"""Load-adaptive policy wrapper.
+
+The paper notes the inflicted work "is adaptive and can be tuned".  One
+natural tuning signal is server load: under attack, shift the whole
+difficulty ladder up; in quiet periods, relax it.  :class:`LoadAdaptivePolicy`
+wraps any inner policy and adds a load-dependent difficulty surcharge.
+
+Load is reported by the caller (the simulator's server reports its
+pending-request ratio) via :meth:`observe_load`; the wrapper is
+otherwise a drop-in :class:`Policy`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.interfaces import Policy
+
+__all__ = ["LoadAdaptivePolicy"]
+
+
+class LoadAdaptivePolicy:
+    """Adds ``ceil(max_surcharge * load)`` to an inner policy's output.
+
+    Parameters
+    ----------
+    inner:
+        The base score → difficulty policy.
+    max_surcharge:
+        Extra difficulty bits applied at full load (load = 1.0).
+    initial_load:
+        Starting load estimate in [0, 1].
+    smoothing:
+        Exponential-moving-average factor for :meth:`observe_load`; 1.0
+        means "trust the latest sample completely".
+    """
+
+    def __init__(
+        self,
+        inner: Policy,
+        max_surcharge: int = 4,
+        initial_load: float = 0.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        if max_surcharge < 0:
+            raise ValueError(f"max_surcharge must be >= 0, got {max_surcharge}")
+        if not 0.0 <= initial_load <= 1.0:
+            raise ValueError(f"initial_load must be in [0, 1], got {initial_load}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.inner = inner
+        self.max_surcharge = max_surcharge
+        self.smoothing = smoothing
+        self._load = initial_load
+
+    @property
+    def name(self) -> str:
+        return f"adaptive({self.inner.name},+{self.max_surcharge})"
+
+    @property
+    def load(self) -> float:
+        """The current smoothed load estimate in [0, 1]."""
+        return self._load
+
+    def observe_load(self, load: float) -> None:
+        """Feed a fresh load sample in [0, 1] (values outside are clamped)."""
+        load = min(max(float(load), 0.0), 1.0)
+        self._load = (1 - self.smoothing) * self._load + self.smoothing * load
+
+    def surcharge(self) -> int:
+        """The extra difficulty currently applied on top of ``inner``."""
+        return int(math.ceil(self.max_surcharge * self._load))
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        return self.inner.difficulty_for(score, rng) + self.surcharge()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: inner + ceil({self.max_surcharge} * load), "
+            f"load={self._load:.2f}"
+        )

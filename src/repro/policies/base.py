@@ -1,0 +1,75 @@
+"""Policy engine scaffolding.
+
+A *policy* is the paper's rule-based strategy mapping a client's
+reputation score R ∈ [0, 10] to a puzzle difficulty.  Policies receive
+the RNG explicitly (Policy 3 is randomized) and declare their domain so
+out-of-range scores fail loudly rather than silently clamping an
+attacker to an easy puzzle.
+
+:class:`BasePolicy` provides domain validation and a shared
+``describe()``; subclasses implement ``_difficulty``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import PolicyDomainError
+
+__all__ = ["BasePolicy", "SCORE_DOMAIN"]
+
+#: The closed reputation-score domain shared by all built-in policies.
+SCORE_DOMAIN = (0.0, 10.0)
+
+
+class BasePolicy:
+    """Template base class for difficulty policies.
+
+    Subclasses implement :meth:`_difficulty`, receiving a validated
+    score; the base class enforces the domain and the non-negativity of
+    the result.
+    """
+
+    #: Overridden by subclasses with a short registry-friendly name.
+    policy_name = "base"
+
+    def __init__(
+        self, domain: tuple[float, float] = SCORE_DOMAIN
+    ) -> None:
+        low, high = domain
+        if not low < high:
+            raise ValueError(f"invalid domain [{low}, {high}]")
+        self.domain = (float(low), float(high))
+
+    @property
+    def name(self) -> str:
+        """Registry-friendly policy name."""
+        return self.policy_name
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        """Map ``score`` to a puzzle difficulty (leading zero bits).
+
+        Raises :class:`~repro.core.errors.PolicyDomainError` when the
+        score is outside the declared domain.
+        """
+        low, high = self.domain
+        score = float(score)
+        if not low <= score <= high:
+            raise PolicyDomainError(score, low, high)
+        difficulty = self._difficulty(score, rng)
+        if difficulty < 0:
+            raise ValueError(
+                f"{type(self).__name__} produced negative difficulty "
+                f"{difficulty} for score {score}"
+            )
+        return difficulty
+
+    def describe(self) -> str:
+        """Human-readable one-line description for reports and the CLI."""
+        return f"{self.name} on scores in [{self.domain[0]}, {self.domain[1]}]"
+
+    def _difficulty(self, score: float, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

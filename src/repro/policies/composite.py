@@ -1,0 +1,84 @@
+"""Policy combinators.
+
+Real deployments compose postures: "at least as hard as the baseline",
+"never above the emergency cap", "hardest of the region policies".
+These combinators keep each rule small and testable while satisfying the
+:class:`~repro.core.interfaces.Policy` protocol themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.interfaces import Policy
+
+__all__ = ["MaxOfPolicy", "MinOfPolicy", "ClampPolicy", "OffsetPolicy"]
+
+
+class MaxOfPolicy:
+    """The hardest verdict among member policies wins (fail-closed)."""
+
+    def __init__(self, members: Sequence[Policy]) -> None:
+        if not members:
+            raise ValueError("MaxOfPolicy needs at least one member")
+        self.members = tuple(members)
+
+    @property
+    def name(self) -> str:
+        return f"max({','.join(m.name for m in self.members)})"
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        return max(m.difficulty_for(score, rng) for m in self.members)
+
+
+class MinOfPolicy:
+    """The gentlest verdict among member policies wins (fail-open)."""
+
+    def __init__(self, members: Sequence[Policy]) -> None:
+        if not members:
+            raise ValueError("MinOfPolicy needs at least one member")
+        self.members = tuple(members)
+
+    @property
+    def name(self) -> str:
+        return f"min({','.join(m.name for m in self.members)})"
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        return min(m.difficulty_for(score, rng) for m in self.members)
+
+
+class ClampPolicy:
+    """Clamps an inner policy's output into ``[low, high]``."""
+
+    def __init__(self, inner: Policy, low: int = 0, high: int = 32) -> None:
+        if low < 0:
+            raise ValueError(f"low must be >= 0, got {low}")
+        if high < low:
+            raise ValueError(f"high {high} must be >= low {low}")
+        self.inner = inner
+        self.low = low
+        self.high = high
+
+    @property
+    def name(self) -> str:
+        return f"clamp({self.inner.name},[{self.low},{self.high}])"
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        return min(max(self.inner.difficulty_for(score, rng), self.low), self.high)
+
+
+class OffsetPolicy:
+    """Adds a fixed offset to an inner policy (floored at zero)."""
+
+    def __init__(self, inner: Policy, offset: int) -> None:
+        self.inner = inner
+        self.offset = int(offset)
+
+    @property
+    def name(self) -> str:
+        sign = "+" if self.offset >= 0 else ""
+        return f"offset({self.inner.name},{sign}{self.offset})"
+
+    def difficulty_for(self, score: float, rng: random.Random) -> int:
+        return max(0, self.inner.difficulty_for(score, rng) + self.offset)

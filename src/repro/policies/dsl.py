@@ -1,0 +1,216 @@
+"""Declarative policy specifications ("policy driven" configuration).
+
+Network administrators specify policies as data, not code (paper §I: "a
+network administrator may specify a policy based on her specific
+security needs").  A spec is a JSON-style mapping with a ``kind`` field
+and kind-specific parameters; nested combinators compose naturally:
+
+>>> from repro.policies.dsl import build_policy
+>>> spec = {
+...     "kind": "clamp", "low": 0, "high": 20,
+...     "inner": {"kind": "linear", "base": 5},
+... }
+>>> policy = build_policy(spec)
+>>> policy.name
+'clamp(linear(base=5),[0,20])'
+
+:func:`policy_to_spec` is the inverse for the built-in types, enabling
+config round-trips.  Unknown kinds and bad parameters raise
+:class:`~repro.core.errors.PolicySpecError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.errors import PolicySpecError
+from repro.core.interfaces import Policy
+from repro.policies.adaptive import LoadAdaptivePolicy
+from repro.policies.composite import (
+    ClampPolicy,
+    MaxOfPolicy,
+    MinOfPolicy,
+    OffsetPolicy,
+)
+from repro.policies.error_range import ErrorRangePolicy
+from repro.policies.exponential import ExponentialPolicy
+from repro.policies.linear import LinearPolicy
+from repro.policies.stepwise import StepwisePolicy
+from repro.policies.table import TablePolicy
+
+__all__ = ["build_policy", "policy_to_spec", "load_policy_json", "dump_policy_json"]
+
+
+def _require_keys(spec: Mapping[str, Any], kind: str, allowed: set[str]) -> None:
+    unknown = set(spec) - allowed - {"kind"}
+    if unknown:
+        raise PolicySpecError(
+            f"{kind!r} spec has unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def build_policy(spec: Mapping[str, Any]) -> Policy:
+    """Construct a policy from a declarative ``spec`` mapping.
+
+    Supported kinds: ``linear``, ``error-range``, ``stepwise``,
+    ``exponential``, ``table``, ``max``, ``min``, ``clamp``, ``offset``,
+    ``adaptive``.
+    """
+    if not isinstance(spec, Mapping):
+        raise PolicySpecError(f"policy spec must be a mapping, got {type(spec)}")
+    kind = spec.get("kind")
+    if not isinstance(kind, str):
+        raise PolicySpecError(f"policy spec needs a string 'kind': {spec!r}")
+
+    try:
+        if kind == "linear":
+            _require_keys(spec, kind, {"base", "slope", "name"})
+            return LinearPolicy(
+                base=int(spec.get("base", 1)),
+                slope=float(spec.get("slope", 1.0)),
+                name=spec.get("name"),
+            )
+        if kind == "error-range":
+            _require_keys(spec, kind, {"epsilon", "base", "name"})
+            return ErrorRangePolicy(
+                epsilon=float(spec.get("epsilon", 2.0)),
+                base=float(spec.get("base", 1.0)),
+                name=spec.get("name"),
+            )
+        if kind == "stepwise":
+            _require_keys(spec, kind, {"thresholds", "difficulties", "name"})
+            return StepwisePolicy(
+                thresholds=spec["thresholds"],
+                difficulties=spec["difficulties"],
+                name=spec.get("name"),
+            )
+        if kind == "exponential":
+            _require_keys(spec, kind, {"base", "growth", "scale", "name"})
+            return ExponentialPolicy(
+                base=int(spec.get("base", 1)),
+                growth=float(spec.get("growth", 1.3)),
+                scale=float(spec.get("scale", 1.0)),
+                name=spec.get("name"),
+            )
+        if kind == "table":
+            _require_keys(spec, kind, {"entries", "name"})
+            return TablePolicy(entries=spec["entries"], name=spec.get("name"))
+        if kind in ("max", "min"):
+            _require_keys(spec, kind, {"members"})
+            members = spec.get("members")
+            if not isinstance(members, (list, tuple)) or not members:
+                raise PolicySpecError(
+                    f"{kind!r} spec needs a non-empty 'members' list"
+                )
+            built = [build_policy(m) for m in members]
+            return MaxOfPolicy(built) if kind == "max" else MinOfPolicy(built)
+        if kind == "clamp":
+            _require_keys(spec, kind, {"inner", "low", "high"})
+            return ClampPolicy(
+                inner=build_policy(spec["inner"]),
+                low=int(spec.get("low", 0)),
+                high=int(spec.get("high", 32)),
+            )
+        if kind == "offset":
+            _require_keys(spec, kind, {"inner", "offset"})
+            return OffsetPolicy(
+                inner=build_policy(spec["inner"]),
+                offset=int(spec["offset"]),
+            )
+        if kind == "adaptive":
+            _require_keys(
+                spec, kind, {"inner", "max_surcharge", "initial_load", "smoothing"}
+            )
+            return LoadAdaptivePolicy(
+                inner=build_policy(spec["inner"]),
+                max_surcharge=int(spec.get("max_surcharge", 4)),
+                initial_load=float(spec.get("initial_load", 0.0)),
+                smoothing=float(spec.get("smoothing", 0.5)),
+            )
+    except PolicySpecError:
+        raise
+    except KeyError as exc:
+        raise PolicySpecError(f"{kind!r} spec missing key {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise PolicySpecError(f"invalid {kind!r} spec: {exc}") from exc
+
+    raise PolicySpecError(f"unknown policy kind {kind!r}")
+
+
+def policy_to_spec(policy: Policy) -> dict[str, Any]:
+    """Serialise a built-in policy back to its declarative spec."""
+    if isinstance(policy, LinearPolicy):
+        return {
+            "kind": "linear",
+            "base": policy.base,
+            "slope": policy.slope,
+            "name": policy.name,
+        }
+    if isinstance(policy, ErrorRangePolicy):
+        return {
+            "kind": "error-range",
+            "epsilon": policy.epsilon,
+            "base": policy.base,
+            "name": policy.name,
+        }
+    if isinstance(policy, StepwisePolicy):
+        return {
+            "kind": "stepwise",
+            "thresholds": list(policy.thresholds),
+            "difficulties": list(policy.difficulties),
+            "name": policy.name,
+        }
+    if isinstance(policy, ExponentialPolicy):
+        return {
+            "kind": "exponential",
+            "base": policy.base,
+            "growth": policy.growth,
+            "scale": policy.scale,
+            "name": policy.name,
+        }
+    if isinstance(policy, TablePolicy):
+        return {"kind": "table", "entries": list(policy.entries), "name": policy.name}
+    if isinstance(policy, MaxOfPolicy):
+        return {"kind": "max", "members": [policy_to_spec(m) for m in policy.members]}
+    if isinstance(policy, MinOfPolicy):
+        return {"kind": "min", "members": [policy_to_spec(m) for m in policy.members]}
+    if isinstance(policy, ClampPolicy):
+        return {
+            "kind": "clamp",
+            "inner": policy_to_spec(policy.inner),
+            "low": policy.low,
+            "high": policy.high,
+        }
+    if isinstance(policy, OffsetPolicy):
+        return {
+            "kind": "offset",
+            "inner": policy_to_spec(policy.inner),
+            "offset": policy.offset,
+        }
+    if isinstance(policy, LoadAdaptivePolicy):
+        return {
+            "kind": "adaptive",
+            "inner": policy_to_spec(policy.inner),
+            "max_surcharge": policy.max_surcharge,
+            "smoothing": policy.smoothing,
+            "initial_load": policy.load,
+        }
+    raise PolicySpecError(
+        f"cannot serialise policy of type {type(policy).__name__}"
+    )
+
+
+def load_policy_json(text: str) -> Policy:
+    """Parse a JSON document into a policy."""
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PolicySpecError(f"invalid policy JSON: {exc}") from exc
+    return build_policy(spec)
+
+
+def dump_policy_json(policy: Policy, indent: int = 2) -> str:
+    """Serialise ``policy`` to a JSON document."""
+    return json.dumps(policy_to_spec(policy), indent=indent)

@@ -1,0 +1,56 @@
+"""PoW substrate: puzzles, generation, solving, verification.
+
+This package implements the three classic PoW roles the paper names —
+issuer/generator, solver, verifier — as independent, composable pieces:
+
+>>> from repro.pow import PuzzleGenerator, HashSolver, PuzzleVerifier
+>>> gen = PuzzleGenerator()
+>>> puzzle = gen.issue("203.0.113.7", difficulty=8, now=0.0)
+>>> solution = HashSolver().solve(puzzle, "203.0.113.7")
+>>> PuzzleVerifier().verify(puzzle, solution, "203.0.113.7", now=1.0).difficulty
+8
+"""
+
+from repro.pow.difficulty import (
+    attempts_quantile,
+    count_leading_zero_bits,
+    expected_attempts,
+    median_attempts,
+    meets_difficulty,
+    success_probability,
+)
+from repro.pow.generator import PuzzleGenerator, compute_tag
+from repro.pow.hashers import available_algorithms, get_hasher
+from repro.pow.puzzle import PUZZLE_VERSION, Puzzle, Solution
+from repro.pow.seeds import (
+    CountingSeedSource,
+    SequentialSeedSource,
+    SystemSeedSource,
+)
+from repro.pow.solver import HashSolver, SampledSolver, sample_attempts
+from repro.pow.verifier import PuzzleVerifier, ReplayCache, VerificationResult
+
+__all__ = [
+    "Puzzle",
+    "Solution",
+    "PUZZLE_VERSION",
+    "PuzzleGenerator",
+    "compute_tag",
+    "HashSolver",
+    "SampledSolver",
+    "sample_attempts",
+    "PuzzleVerifier",
+    "ReplayCache",
+    "VerificationResult",
+    "count_leading_zero_bits",
+    "meets_difficulty",
+    "expected_attempts",
+    "median_attempts",
+    "attempts_quantile",
+    "success_probability",
+    "get_hasher",
+    "available_algorithms",
+    "SystemSeedSource",
+    "SequentialSeedSource",
+    "CountingSeedSource",
+]

@@ -1,0 +1,108 @@
+"""Difficulty semantics: leading-zero-bit targets and their statistics.
+
+A *d-difficult* puzzle (paper §II.4) requires a hash output whose first
+``d`` bits are zero.  Each hash evaluation over a fresh nonce succeeds
+independently with probability ``2**-d``, so the attempt count is
+geometric.  The helpers here are shared by the solver, the verifier and
+the simulator's solve-time model, keeping all three consistent.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "count_leading_zero_bits",
+    "meets_difficulty",
+    "expected_attempts",
+    "median_attempts",
+    "attempts_quantile",
+    "success_probability",
+]
+
+
+def count_leading_zero_bits(digest: bytes) -> int:
+    """Number of leading zero bits in ``digest``.
+
+    An all-zero digest has ``8 * len(digest)`` leading zero bits.
+    """
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        bits += 8 - byte.bit_length()
+        break
+    return bits
+
+
+def meets_difficulty(digest: bytes, difficulty: int) -> bool:
+    """True when ``digest`` has at least ``difficulty`` leading zero bits.
+
+    Every digest meets difficulty 0 (no puzzle).
+    """
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty > 8 * len(digest):
+        return False
+    full_bytes, rem_bits = divmod(difficulty, 8)
+    if any(digest[:full_bytes]):
+        return False
+    if rem_bits == 0:
+        return True
+    return digest[full_bytes] < (1 << (8 - rem_bits))
+
+
+def expected_attempts(difficulty: int) -> float:
+    """Mean number of hash evaluations to solve a ``difficulty``-bit puzzle."""
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    return float(2**difficulty)
+
+
+def median_attempts(difficulty: int) -> float:
+    """Median number of attempts (``2**d * ln 2`` for large ``d``).
+
+    The exact median of a geometric distribution with success probability
+    ``p = 2**-d`` is ``ceil(-1 / log2(1 - p))``; we return the continuous
+    approximation used by the calibration bench, with the exact value for
+    the degenerate ``d = 0`` case.
+    """
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty == 0:
+        return 1.0
+    p = 2.0**-difficulty
+    return math.log(0.5) / math.log1p(-p)
+
+
+def attempts_quantile(difficulty: int, q: float) -> float:
+    """The ``q``-quantile of the attempt count at ``difficulty``.
+
+    Useful for tail-latency analysis: e.g. ``attempts_quantile(d, 0.99)``
+    bounds the unlucky-solver cost.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty == 0:
+        return 1.0
+    p = 2.0**-difficulty
+    return math.log1p(-q) / math.log1p(-p)
+
+
+def success_probability(difficulty: int, attempts: int) -> float:
+    """Probability that at least one of ``attempts`` evaluations solves.
+
+    Drives the nonce-exhaustion analysis: with a 32-bit nonce and
+    ``d``-bit target, the miss probability is ``(1 - 2**-d) ** 2**32``.
+    """
+    if attempts < 0:
+        raise ValueError(f"attempts must be >= 0, got {attempts}")
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty == 0:
+        return 1.0 if attempts >= 1 else 0.0
+    p = 2.0**-difficulty
+    return -math.expm1(attempts * math.log1p(-p))

@@ -1,0 +1,140 @@
+"""Fractional difficulty via hash targets (fine-grained tuning).
+
+Integer leading-zero-bit difficulty quantises work in powers of two —
+the gap between ``d`` and ``d+1`` *doubles* the expected latency, which
+is coarse when "proper tuning of the difficulty is desired for
+fine-grained reputation scores" (paper §II.2).
+
+The standard fix (Bitcoin's) is a numeric *target*: a digest solves the
+puzzle iff, read as a big-endian integer, it is **below** the target.
+Any real-valued difficulty ``d`` maps to the target ``2**256 / 2**d``,
+so expected attempts are exactly ``2**d`` for fractional ``d`` too —
+``d = 10.5`` really is √2 harder than ``d = 10``.
+
+This module provides the target math plus solver/verifier entry points
+that interoperate with the existing :class:`~repro.pow.puzzle.Puzzle`
+prefix format (the fractional difficulty is carried out-of-band by the
+caller, e.g. a fractional policy).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.errors import NonceSpaceExhaustedError, SolutionInvalidError
+from repro.pow.hashers import digest_size, get_hasher
+from repro.pow.puzzle import Puzzle, Solution
+
+__all__ = [
+    "target_for_difficulty",
+    "difficulty_for_target",
+    "meets_target",
+    "expected_attempts_fractional",
+    "FractionalSolver",
+    "verify_fractional",
+]
+
+
+def target_for_difficulty(difficulty: float, digest_bits: int = 256) -> int:
+    """The integer target for a real-valued ``difficulty``.
+
+    ``difficulty = 0`` yields the maximal target (everything solves);
+    each unit of difficulty halves the target.
+    """
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty >= digest_bits:
+        return 1  # hardest expressible target: only the all-zero digest
+    space = 1 << digest_bits
+    return max(1, int(space / (2.0**difficulty)))
+
+
+def difficulty_for_target(target: int, digest_bits: int = 256) -> float:
+    """Inverse of :func:`target_for_difficulty`."""
+    if target <= 0:
+        raise ValueError(f"target must be > 0, got {target}")
+    space = 1 << digest_bits
+    return math.log2(space / target)
+
+
+def meets_target(digest: bytes, target: int) -> bool:
+    """True when ``digest`` (big-endian) is strictly below ``target``."""
+    return int.from_bytes(digest, "big") < target
+
+
+def expected_attempts_fractional(difficulty: float) -> float:
+    """Mean attempts at fractional ``difficulty`` — exactly ``2**d``."""
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    return 2.0**difficulty
+
+
+class FractionalSolver:
+    """Grinds nonces against a fractional-difficulty target.
+
+    Reuses the puzzle's immutable prefix (so fractional and integer
+    modes share generation and IP binding); the fractional difficulty
+    is supplied per-solve.
+    """
+
+    def __init__(self, nonce_bits: int = 32, max_attempts: int | None = None):
+        if not 1 <= nonce_bits <= 64:
+            raise ValueError(f"nonce_bits must be in [1, 64], got {nonce_bits}")
+        if max_attempts is not None and max_attempts <= 0:
+            raise ValueError(f"max_attempts must be > 0, got {max_attempts}")
+        self.nonce_bits = nonce_bits
+        self.max_attempts = max_attempts
+
+    def solve(
+        self, puzzle: Puzzle, client_ip: str, difficulty: float
+    ) -> Solution:
+        """Find a nonce whose digest is below the fractional target."""
+        hasher = get_hasher(puzzle.algorithm)
+        bits = 8 * digest_size(puzzle.algorithm)
+        target = target_for_difficulty(difficulty, bits)
+        prefix = puzzle.prefix(client_ip)
+        width = (self.nonce_bits + 7) // 8
+        limit = 1 << self.nonce_bits
+        if self.max_attempts is not None:
+            limit = min(limit, self.max_attempts)
+
+        started = time.perf_counter()
+        for attempt in range(1, limit + 1):
+            nonce = attempt - 1
+            if meets_target(hasher(prefix + nonce.to_bytes(width, "big")), target):
+                return Solution(
+                    puzzle_seed=puzzle.seed,
+                    nonce=nonce,
+                    attempts=attempt,
+                    elapsed=time.perf_counter() - started,
+                )
+        raise NonceSpaceExhaustedError(limit, int(math.ceil(difficulty)))
+
+
+def verify_fractional(
+    puzzle: Puzzle,
+    solution: Solution,
+    client_ip: str,
+    difficulty: float,
+    nonce_bits: int = 32,
+) -> bool:
+    """Check a fractional-target solution (constant cost, like §II.5).
+
+    Raises :class:`SolutionInvalidError` on a miss; returns True on
+    success.  Integrity/TTL/replay checks remain the caller's job (use
+    the standard :class:`~repro.pow.verifier.PuzzleVerifier` machinery
+    for those).
+    """
+    hasher = get_hasher(puzzle.algorithm)
+    bits = 8 * digest_size(puzzle.algorithm)
+    target = target_for_difficulty(difficulty, bits)
+    width = (nonce_bits + 7) // 8
+    digest = hasher(
+        puzzle.prefix(client_ip) + solution.nonce.to_bytes(width, "big")
+    )
+    if not meets_target(digest, target):
+        raise SolutionInvalidError(
+            f"digest above fractional target for difficulty {difficulty:g}"
+        )
+    return True

@@ -1,0 +1,91 @@
+"""The puzzle generation module (paper §II.3).
+
+The generator collects the request-related data — a timestamp and a
+unique seed (mitigating pre-computation attacks) — together with the
+policy-chosen difficulty, and produces the :class:`~repro.pow.puzzle.Puzzle`
+relayed back to the client.  Each puzzle additionally carries an HMAC tag
+binding it to the requesting IP so the verifier can authenticate puzzles
+without keeping per-puzzle server state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.core.config import PowConfig
+from repro.core.errors import ConfigError
+from repro.pow.puzzle import Puzzle
+from repro.pow.seeds import SeedSource, SystemSeedSource
+
+__all__ = ["PuzzleGenerator", "compute_tag"]
+
+#: Truncated tag length (hex chars).  128-bit tags keep frames compact
+#: while leaving forgery infeasible.
+TAG_HEX_LEN = 32
+
+
+def compute_tag(secret_key: bytes, payload: bytes) -> str:
+    """HMAC-SHA256 tag (truncated, hex) over ``payload``."""
+    mac = hmac.new(secret_key, payload, hashlib.sha256)
+    return mac.hexdigest()[:TAG_HEX_LEN]
+
+
+class PuzzleGenerator:
+    """Issues authenticated puzzles at a caller-chosen difficulty.
+
+    Parameters
+    ----------
+    config:
+        PoW parameters (key, TTL, difficulty clamp, hash algorithm).
+    seed_source:
+        Source of unique seeds; defaults to the CSPRNG-backed
+        :class:`~repro.pow.seeds.SystemSeedSource`.
+    """
+
+    def __init__(
+        self,
+        config: PowConfig | None = None,
+        seed_source: SeedSource | None = None,
+    ) -> None:
+        self.config = config or PowConfig()
+        self._seeds: SeedSource = (
+            seed_source if seed_source is not None else SystemSeedSource()
+        )
+        self.issued_count = 0
+
+    def issue(self, client_ip: str, difficulty: int, now: float) -> Puzzle:
+        """Create a puzzle for ``client_ip`` at ``difficulty`` zero bits.
+
+        ``now`` is the issue timestamp (simulated or wall-clock).  Raises
+        :class:`~repro.core.errors.ConfigError` if ``difficulty`` exceeds
+        the configured maximum — the framework clamps before calling, so
+        hitting this means a wiring bug.
+        """
+        if not client_ip:
+            raise ValueError("client_ip must be non-empty")
+        if difficulty < 0:
+            raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+        if difficulty > self.config.max_difficulty:
+            raise ConfigError(
+                f"difficulty {difficulty} exceeds configured maximum "
+                f"{self.config.max_difficulty}"
+            )
+        seed = self._seeds.next_seed().hex()
+        unsigned = Puzzle(
+            seed=seed,
+            timestamp=now,
+            difficulty=difficulty,
+            algorithm=self.config.hash_algorithm,
+        )
+        tag = compute_tag(
+            self.config.secret_key, unsigned.signing_payload(client_ip)
+        )
+        self.issued_count += 1
+        return Puzzle(
+            seed=seed,
+            timestamp=now,
+            difficulty=difficulty,
+            algorithm=self.config.hash_algorithm,
+            tag=tag,
+        )

@@ -1,0 +1,59 @@
+"""Pluggable hash backends for the PoW solver and verifier.
+
+The paper does not fix a hash function ("the client performs evaluations
+on this input"), so the backend is a named component: solver and verifier
+must simply agree.  Backends wrap :mod:`hashlib` digests behind a uniform
+``bytes -> bytes`` callable; :func:`get_hasher` resolves names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.core.errors import ConfigError
+
+__all__ = ["Hasher", "get_hasher", "available_algorithms", "digest_size"]
+
+Hasher = Callable[[bytes], bytes]
+
+_ALGORITHMS: dict[str, Callable[[bytes], "hashlib._Hash"]] = {
+    "sha256": hashlib.sha256,
+    "sha1": hashlib.sha1,
+    "sha512": hashlib.sha512,
+    "blake2b": hashlib.blake2b,
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names accepted by :func:`get_hasher`, sorted."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def get_hasher(name: str) -> Hasher:
+    """Return a ``bytes -> digest-bytes`` callable for algorithm ``name``."""
+    try:
+        constructor = _ALGORITHMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hash algorithm {name!r}; "
+            f"expected one of {available_algorithms()}"
+        ) from None
+
+    def hasher(data: bytes) -> bytes:
+        return constructor(data).digest()
+
+    hasher.__name__ = f"hasher_{name}"
+    return hasher
+
+
+def digest_size(name: str) -> int:
+    """Digest size in bytes of algorithm ``name``."""
+    try:
+        constructor = _ALGORITHMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hash algorithm {name!r}; "
+            f"expected one of {available_algorithms()}"
+        ) from None
+    return constructor(b"").digest_size

@@ -1,0 +1,161 @@
+"""Puzzle and solution wire types.
+
+A :class:`Puzzle` carries exactly what the paper's generator relays to
+the client (§II.3): a timestamp, a unique seed, and the difficulty — plus
+an HMAC tag binding those fields to the client's IP so the verifier can
+remain stateless about outstanding puzzles.  A :class:`Solution` carries
+the 32-bit nonce the client ground out (§II.4).
+
+Both types serialise to single-line ASCII frames (``to_wire`` /
+``from_wire``) used by the live TCP protocol and by anything that wants
+to log or replay exchanges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.errors import ProtocolError
+
+__all__ = ["Puzzle", "Solution", "PUZZLE_VERSION"]
+
+#: Wire-format version; bump on incompatible changes.
+PUZZLE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Puzzle:
+    """One issued PoW puzzle.
+
+    Parameters
+    ----------
+    seed:
+        Unique per-puzzle seed, hex-encoded (pre-computation mitigation).
+    timestamp:
+        Server-side issue time in seconds; drives TTL expiry.
+    difficulty:
+        Required number of leading zero bits in the solution digest.
+    algorithm:
+        Hash algorithm name the solver must use.
+    tag:
+        Hex-encoded HMAC over ``(version, seed, timestamp, difficulty,
+        algorithm, client_ip)`` under the server key.
+    version:
+        Wire-format version.
+    """
+
+    seed: str
+    timestamp: float
+    difficulty: int
+    algorithm: str = "sha256"
+    tag: str = ""
+    version: int = PUZZLE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.difficulty < 0:
+            raise ValueError(f"difficulty must be >= 0, got {self.difficulty}")
+        if not self.seed:
+            raise ValueError("seed must be non-empty")
+        try:
+            bytes.fromhex(self.seed)
+        except ValueError:
+            raise ValueError(f"seed must be hex, got {self.seed!r}") from None
+
+    def prefix(self, client_ip: str) -> bytes:
+        """The immutable string the solver may not alter (paper §II.4).
+
+        The puzzle data is concatenated with the client's IP address; the
+        nonce is appended to this prefix on each hash evaluation.
+        """
+        return (
+            f"v{self.version}|{self.seed}|{self.timestamp!r}|"
+            f"{self.difficulty}|{self.algorithm}|{client_ip}|"
+        ).encode("ascii")
+
+    def signing_payload(self, client_ip: str) -> bytes:
+        """Bytes covered by the generator's HMAC tag."""
+        return self.prefix(client_ip)
+
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the puzzle was issued."""
+        return now - self.timestamp
+
+    def to_wire(self) -> str:
+        """Serialise to a single-line ASCII frame."""
+        return (
+            f"PUZZLE {self.version} {self.seed} {self.timestamp!r} "
+            f"{self.difficulty} {self.algorithm} {self.tag}"
+        )
+
+    @classmethod
+    def from_wire(cls, line: str) -> "Puzzle":
+        """Parse a frame produced by :meth:`to_wire`.
+
+        Raises :class:`ProtocolError` on malformed input.
+        """
+        parts = line.strip().split(" ")
+        if len(parts) != 7 or parts[0] != "PUZZLE":
+            raise ProtocolError(f"malformed puzzle frame: {line!r}")
+        _, version, seed, timestamp, difficulty, algorithm, tag = parts
+        try:
+            return cls(
+                version=int(version),
+                seed=seed,
+                timestamp=float(timestamp),
+                difficulty=int(difficulty),
+                algorithm=algorithm,
+                tag=tag,
+            )
+        except ValueError as exc:
+            raise ProtocolError(f"malformed puzzle frame: {line!r}") from exc
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Solution:
+    """A solved puzzle: the winning nonce plus solver-side accounting.
+
+    ``attempts`` and ``elapsed`` are measurement metadata — the verifier
+    only trusts ``nonce`` and recomputes the digest itself.
+    """
+
+    puzzle_seed: str
+    nonce: int
+    attempts: int = 0
+    elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nonce < 0:
+            raise ValueError(f"nonce must be >= 0, got {self.nonce}")
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {self.elapsed}")
+
+    def to_wire(self) -> str:
+        """Serialise to a single-line ASCII frame."""
+        return f"SOLUTION {self.puzzle_seed} {self.nonce} {self.attempts}"
+
+    @classmethod
+    def from_wire(cls, line: str) -> "Solution":
+        """Parse a frame produced by :meth:`to_wire`."""
+        parts = line.strip().split(" ")
+        if len(parts) != 4 or parts[0] != "SOLUTION":
+            raise ProtocolError(f"malformed solution frame: {line!r}")
+        _, seed, nonce, attempts = parts
+        try:
+            return cls(puzzle_seed=seed, nonce=int(nonce), attempts=int(attempts))
+        except ValueError as exc:
+            raise ProtocolError(f"malformed solution frame: {line!r}") from exc
+
+
+def nonce_bytes(nonce: int, nonce_bits: int) -> bytes:
+    """Encode ``nonce`` in the fixed width the prefix expects.
+
+    The paper appends "a 32-bit string"; we encode big-endian in
+    ``ceil(nonce_bits / 8)`` bytes so solver and verifier agree bit-for-bit.
+    """
+    if nonce < 0 or nonce >= (1 << nonce_bits):
+        raise ValueError(
+            f"nonce {nonce} does not fit in {nonce_bits} bits"
+        )
+    return nonce.to_bytes((nonce_bits + 7) // 8, "big")

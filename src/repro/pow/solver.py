@@ -1,0 +1,151 @@
+"""The client-side puzzle solver (paper §II.4).
+
+The data received from the generator is concatenated with the client's
+IP address to form an immutable prefix; a 32-bit nonce is appended and
+modified on each hash evaluation until the output has the required
+prefix of zero bits.
+
+Two solvers are provided:
+
+* :class:`HashSolver` — grinds real hash evaluations with
+  :mod:`hashlib`.  Used by the live server path, the examples, and the
+  wall-clock benches.
+* :class:`SampledSolver` — draws the attempt count from the geometric
+  distribution instead of hashing, then grinds only the *winning* check.
+  It produces solutions that still verify, at a cost independent of
+  difficulty — the workhorse of large simulations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.errors import NonceSpaceExhaustedError
+from repro.pow.difficulty import meets_difficulty
+from repro.pow.hashers import get_hasher
+from repro.pow.puzzle import Puzzle, Solution
+
+__all__ = ["HashSolver", "SampledSolver", "sample_attempts"]
+
+
+class HashSolver:
+    """Brute-force nonce grinder over a fixed-width nonce space.
+
+    Parameters
+    ----------
+    nonce_bits:
+        Width of the nonce; the paper specifies 32 bits.
+    max_attempts:
+        Optional cap below the full nonce space, so callers can bound
+        worst-case work (e.g. an attacker that gives up).
+    start_nonce:
+        First nonce to try; randomising the start point spreads load in
+        tests without changing expected work.
+    """
+
+    def __init__(
+        self,
+        nonce_bits: int = 32,
+        max_attempts: int | None = None,
+        start_nonce: int = 0,
+    ) -> None:
+        if not 1 <= nonce_bits <= 64:
+            raise ValueError(f"nonce_bits must be in [1, 64], got {nonce_bits}")
+        self.nonce_bits = nonce_bits
+        self.nonce_space = 1 << nonce_bits
+        if start_nonce < 0 or start_nonce >= self.nonce_space:
+            raise ValueError(
+                f"start_nonce {start_nonce} outside nonce space"
+            )
+        if max_attempts is not None and max_attempts <= 0:
+            raise ValueError(f"max_attempts must be > 0, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.start_nonce = start_nonce
+
+    def solve(self, puzzle: Puzzle, client_ip: str) -> Solution:
+        """Grind nonces until the digest meets the puzzle difficulty.
+
+        Raises :class:`~repro.core.errors.NonceSpaceExhaustedError` when
+        the nonce space (or ``max_attempts``) is exhausted first.
+        """
+        hasher = get_hasher(puzzle.algorithm)
+        prefix = puzzle.prefix(client_ip)
+        difficulty = puzzle.difficulty
+        limit = self.nonce_space
+        if self.max_attempts is not None:
+            limit = min(limit, self.max_attempts)
+
+        started = time.perf_counter()
+        nonce = self.start_nonce
+        width = (self.nonce_bits + 7) // 8
+        for attempt in range(1, limit + 1):
+            digest = hasher(prefix + nonce.to_bytes(width, "big"))
+            if meets_difficulty(digest, difficulty):
+                return Solution(
+                    puzzle_seed=puzzle.seed,
+                    nonce=nonce,
+                    attempts=attempt,
+                    elapsed=time.perf_counter() - started,
+                )
+            nonce = (nonce + 1) % self.nonce_space
+        raise NonceSpaceExhaustedError(limit, difficulty)
+
+
+def sample_attempts(difficulty: int, rng: random.Random) -> int:
+    """Draw a geometric attempt count for a ``difficulty``-bit puzzle.
+
+    Inverse-CDF sampling: ``attempts = ceil(ln U / ln(1 - 2**-d))`` for
+    uniform ``U``; difficulty 0 always solves on the first attempt.
+    """
+    if difficulty < 0:
+        raise ValueError(f"difficulty must be >= 0, got {difficulty}")
+    if difficulty == 0:
+        return 1
+    import math
+
+    p = 2.0**-difficulty
+    u = rng.random()
+    # Guard the u == 0 edge (log(0)); retry is statistically sound.
+    while u <= 0.0:
+        u = rng.random()
+    return max(1, math.ceil(math.log(u) / math.log1p(-p)))
+
+
+class SampledSolver:
+    """Statistically faithful solver that avoids per-attempt hashing.
+
+    For a ``d``-difficult puzzle it samples the geometric attempt count,
+    then finds a *real* winning nonce by grinding — but reports the
+    sampled count in :attr:`Solution.attempts`.  Verification therefore
+    still passes, while the attempt count driving latency models follows
+    the correct distribution even when the underlying grind got lucky.
+
+    When ``verifiable=False`` the grind is skipped entirely and nonce 0
+    is returned; use this in pure simulations that never re-verify.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        nonce_bits: int = 32,
+        verifiable: bool = True,
+    ) -> None:
+        self._rng = rng or random.Random(0xA77E)
+        self._grinder = HashSolver(nonce_bits=nonce_bits)
+        self.verifiable = verifiable
+
+    def solve(self, puzzle: Puzzle, client_ip: str) -> Solution:
+        """Return a solution whose ``attempts`` is geometrically sampled."""
+        attempts = sample_attempts(puzzle.difficulty, self._rng)
+        if not self.verifiable:
+            return Solution(
+                puzzle_seed=puzzle.seed, nonce=0, attempts=attempts
+            )
+        ground = self._grinder.solve(puzzle, client_ip)
+        return Solution(
+            puzzle_seed=puzzle.seed,
+            nonce=ground.nonce,
+            attempts=attempts,
+            elapsed=ground.elapsed,
+        )

@@ -1,0 +1,180 @@
+"""The puzzle verification module (paper §II.5).
+
+Verification is deliberately lightweight: one HMAC to authenticate the
+puzzle, one hash to check the solution — constant work regardless of the
+puzzle's difficulty, which is the asymmetry PoW defenses rely on.
+
+The verifier enforces four properties:
+
+1. **Integrity** — the puzzle (and the IP it is bound to) was really
+   issued by this server: HMAC tag check.
+2. **Freshness** — the puzzle's TTL has not elapsed.
+3. **Correctness** — hashing ``prefix || nonce`` yields at least
+   ``difficulty`` leading zero bits.
+4. **Single redemption** — a seed can be redeemed once; replays are
+   rejected (:class:`ReplayCache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hmac as hmac_mod
+from collections import OrderedDict
+
+from repro.core.config import PowConfig
+from repro.core.errors import (
+    PuzzleExpiredError,
+    PuzzleIntegrityError,
+    ReplayedSolutionError,
+    SolutionInvalidError,
+)
+from repro.pow.difficulty import count_leading_zero_bits, meets_difficulty
+from repro.pow.generator import compute_tag
+from repro.pow.hashers import get_hasher
+from repro.pow.puzzle import Puzzle, Solution, nonce_bytes
+
+__all__ = ["PuzzleVerifier", "ReplayCache", "VerificationResult"]
+
+
+class ReplayCache:
+    """Remembers redeemed puzzle seeds until their TTL would expire anyway.
+
+    The cache is bounded two ways: entries older than ``ttl`` are evicted
+    lazily (an expired puzzle is rejected by the freshness check before
+    the replay check can matter), and a hard ``max_entries`` cap evicts
+    oldest-first so a flood of redemptions cannot exhaust memory.
+    """
+
+    def __init__(self, ttl: float = 300.0, max_entries: int = 100_000) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._seen: OrderedDict[str, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def check_and_add(self, seed: str, now: float) -> bool:
+        """Record ``seed``; return False if it was already present (replay)."""
+        self._evict(now)
+        if seed in self._seen:
+            return False
+        self._seen[seed] = now
+        return True
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.ttl
+        while self._seen:
+            seed, added = next(iter(self._seen.items()))
+            if added >= cutoff and len(self._seen) < self.max_entries:
+                break
+            del self._seen[seed]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VerificationResult:
+    """Successful verification outcome, with the checked zero-bit count."""
+
+    puzzle_seed: str
+    difficulty: int
+    zero_bits: int
+
+
+class PuzzleVerifier:
+    """Stateless-by-design verifier with optional replay protection.
+
+    Parameters
+    ----------
+    config:
+        Must match the generator's config (same key, algorithm, TTL).
+    replay_cache:
+        Optional :class:`ReplayCache`; pass ``None`` to disable the
+        single-redemption property (ablation `abl-verify` measures the
+        cost of keeping it).
+    """
+
+    def __init__(
+        self,
+        config: PowConfig | None = None,
+        replay_cache: ReplayCache | None = None,
+    ) -> None:
+        self.config = config or PowConfig()
+        self.replay_cache = replay_cache
+        self.accepted_count = 0
+        self.rejected_count = 0
+
+    def verify(
+        self,
+        puzzle: Puzzle,
+        solution: Solution,
+        client_ip: str,
+        now: float,
+    ) -> VerificationResult:
+        """Validate ``solution`` for ``puzzle``; raise on any failure.
+
+        Raises
+        ------
+        PuzzleIntegrityError
+            Tag mismatch — the puzzle was tampered with or forged, or the
+            solution names a different puzzle.
+        PuzzleExpiredError
+            The puzzle aged past the configured TTL.
+        SolutionInvalidError
+            The nonce's digest misses the difficulty target.
+        ReplayedSolutionError
+            The seed was already redeemed.
+        """
+        try:
+            return self._verify(puzzle, solution, client_ip, now)
+        except Exception:
+            self.rejected_count += 1
+            raise
+
+    def _verify(
+        self,
+        puzzle: Puzzle,
+        solution: Solution,
+        client_ip: str,
+        now: float,
+    ) -> VerificationResult:
+        if solution.puzzle_seed != puzzle.seed:
+            raise PuzzleIntegrityError(
+                "solution references a different puzzle seed"
+            )
+
+        expected_tag = compute_tag(
+            self.config.secret_key, puzzle.signing_payload(client_ip)
+        )
+        if not hmac_mod.compare_digest(expected_tag, puzzle.tag):
+            raise PuzzleIntegrityError("puzzle tag mismatch")
+
+        age = puzzle.age(now)
+        if age > self.config.ttl:
+            raise PuzzleExpiredError(age, self.config.ttl)
+
+        hasher = get_hasher(puzzle.algorithm)
+        digest = hasher(
+            puzzle.prefix(client_ip)
+            + nonce_bytes(solution.nonce, self.config.nonce_bits)
+        )
+        if not meets_difficulty(digest, puzzle.difficulty):
+            raise SolutionInvalidError(
+                f"digest has {count_leading_zero_bits(digest)} leading zero "
+                f"bits, needs {puzzle.difficulty}"
+            )
+
+        if self.replay_cache is not None:
+            if not self.replay_cache.check_and_add(puzzle.seed, now):
+                raise ReplayedSolutionError(
+                    f"seed {puzzle.seed} already redeemed"
+                )
+
+        self.accepted_count += 1
+        return VerificationResult(
+            puzzle_seed=puzzle.seed,
+            difficulty=puzzle.difficulty,
+            zero_bits=count_leading_zero_bits(digest),
+        )

@@ -1,0 +1,96 @@
+"""Shared scaffolding for reputation models.
+
+Concrete models (DAbR, k-NN, ensembles) share the same life-cycle:
+construct → :meth:`fit` on a corpus → :meth:`score` feature mappings.
+:class:`BaseReputationModel` centralises schema handling, the
+fitted-state guard, and score clamping so each model only implements its
+``_score_vector``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import ModelNotFittedError
+from repro.core.records import ClientRequest
+from repro.reputation.dataset import ThreatIntelCorpus
+from repro.reputation.features import DEFAULT_SCHEMA, FeatureSchema
+
+__all__ = ["BaseReputationModel", "clamp_score"]
+
+#: Reputation scores are confined to the paper's [0, 10] scale.
+SCORE_LOW = 0.0
+SCORE_HIGH = 10.0
+
+
+def clamp_score(score: float) -> float:
+    """Clamp ``score`` into the canonical [0, 10] range."""
+    return min(max(float(score), SCORE_LOW), SCORE_HIGH)
+
+
+class BaseReputationModel:
+    """Template base class for reputation scorers.
+
+    Subclasses implement :meth:`_fit` (consume the corpus) and
+    :meth:`_score_vector` (score one *normalised* feature vector); the
+    base class handles vectorisation, normalisation, the not-fitted
+    guard, and clamping to [0, 10].
+    """
+
+    #: Overridden by subclasses with a short registry-friendly name.
+    model_name = "base"
+
+    def __init__(self, schema: FeatureSchema | None = None) -> None:
+        self.schema = schema or DEFAULT_SCHEMA
+        self._fitted = False
+
+    @property
+    def name(self) -> str:
+        """Registry-friendly model name."""
+        return self.model_name
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._fitted
+
+    def fit(self, corpus: ThreatIntelCorpus) -> "BaseReputationModel":
+        """Train on ``corpus``; returns self for chaining."""
+        if len(corpus) == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        if corpus.schema.names != self.schema.names:
+            raise ValueError(
+                "corpus schema does not match model schema: "
+                f"{corpus.schema.names} vs {self.schema.names}"
+            )
+        self._fit(corpus)
+        self._fitted = True
+        return self
+
+    def score(self, features: Mapping[str, float]) -> float:
+        """Score one feature mapping; result is clamped to [0, 10]."""
+        if not self._fitted:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} must be fit() before scoring"
+            )
+        vector = self.schema.normalize(self.schema.vectorize(features))[0]
+        return clamp_score(self._score_vector(vector))
+
+    def score_request(self, request: ClientRequest) -> float:
+        """Score the features attached to a :class:`ClientRequest`."""
+        return self.score(request.features)
+
+    def score_many(self, rows) -> np.ndarray:
+        """Vector of scores for an iterable of feature mappings."""
+        return np.array([self.score(row) for row in rows])
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _fit(self, corpus: ThreatIntelCorpus) -> None:
+        raise NotImplementedError
+
+    def _score_vector(self, vector: np.ndarray) -> float:
+        raise NotImplementedError

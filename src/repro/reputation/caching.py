@@ -1,0 +1,88 @@
+"""Per-IP score caching: shaving the AI model off the hot path.
+
+Scoring every request is wasteful when an address's threat-intelligence
+attributes change on the scale of hours — and under a flood, the AI
+model is itself a resource the attack consumes.  :class:`CachedModel`
+wraps any reputation model with a TTL-bounded, capacity-bounded per-IP
+cache keyed by the requesting address.
+
+Note the deliberate asymmetry with
+:class:`~repro.reputation.feedback.FeedbackReputationModel`: feedback
+*wraps caching* (offset applied to the cached base score), never the
+other way around — caching a feedback-adjusted score would freeze the
+behavioural signal.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping
+
+from repro.core.interfaces import ReputationModel
+from repro.core.records import ClientRequest
+
+__all__ = ["CachedModel"]
+
+
+class CachedModel:
+    """TTL + LRU cache over an inner model's per-request scores."""
+
+    def __init__(
+        self,
+        inner: ReputationModel,
+        ttl: float = 3600.0,
+        max_entries: int = 100_000,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self.inner = inner
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._cache: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def name(self) -> str:
+        return f"cached({self.inner.name})"
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def score(self, features: Mapping[str, float]) -> float:
+        """Feature-level scoring has no IP key: always delegates."""
+        return self.inner.score(features)
+
+    def score_request(self, request: ClientRequest) -> float:
+        """Cached per-IP score, recomputed when the entry ages out."""
+        now = request.timestamp
+        entry = self._cache.get(request.client_ip)
+        if entry is not None:
+            cached_at, score = entry
+            if now - cached_at <= self.ttl:
+                self._cache.move_to_end(request.client_ip)
+                self.hits += 1
+                return score
+            del self._cache[request.client_ip]
+
+        self.misses += 1
+        score = self.inner.score_request(request)
+        self._cache[request.client_ip] = (now, score)
+        self._cache.move_to_end(request.client_ip)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return score
+
+    def invalidate(self, client_ip: str | None = None) -> None:
+        """Drop one address's entry, or the whole cache when None."""
+        if client_ip is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(client_ip, None)

@@ -1,0 +1,134 @@
+"""Ensembling and post-processing wrappers for reputation models.
+
+Production reputation pipelines rarely trust a single signal.  These
+wrappers compose models while preserving the :class:`ReputationModel`
+protocol, so the framework can consume an ensemble exactly like DAbR:
+
+* :class:`AverageEnsemble` — weighted mean of member scores;
+* :class:`MaxEnsemble` — most-pessimistic member wins (fail-closed);
+* :class:`NoisyModel` — adds bounded noise to a base model, used by the
+  benches to study how policy choice copes with AI-model error (the
+  motivation for the paper's Policy 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.core.interfaces import ReputationModel
+from repro.core.records import ClientRequest
+from repro.reputation.base import clamp_score
+
+__all__ = ["AverageEnsemble", "MaxEnsemble", "NoisyModel", "ConstantModel"]
+
+
+class ConstantModel:
+    """Scores every request the same — the "no AI" baseline.
+
+    With score 0 and a linear policy this degenerates the framework to
+    classic uniform PoW (every client gets the same puzzle), which is
+    exactly the state of the art the paper improves upon.
+    """
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = clamp_score(value)
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.value:g})"
+
+    def score(self, features: Mapping[str, float]) -> float:
+        return self.value
+
+    def score_request(self, request: ClientRequest) -> float:
+        return self.value
+
+
+class AverageEnsemble:
+    """Weighted-average ensemble over fitted reputation models."""
+
+    def __init__(
+        self,
+        members: Sequence[ReputationModel],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if weights is None:
+            weights = [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(members)} members"
+            )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self._members = tuple(members)
+        self._weights = tuple(float(w) for w in weights)
+
+    @property
+    def name(self) -> str:
+        inner = "+".join(m.name for m in self._members)
+        return f"avg({inner})"
+
+    def score(self, features: Mapping[str, float]) -> float:
+        total = sum(
+            w * m.score(features)
+            for m, w in zip(self._members, self._weights)
+        )
+        return clamp_score(total / sum(self._weights))
+
+    def score_request(self, request: ClientRequest) -> float:
+        return self.score(request.features)
+
+
+class MaxEnsemble:
+    """Fail-closed ensemble: the highest (worst) member score wins."""
+
+    def __init__(self, members: Sequence[ReputationModel]) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self._members = tuple(members)
+
+    @property
+    def name(self) -> str:
+        inner = "+".join(m.name for m in self._members)
+        return f"max({inner})"
+
+    def score(self, features: Mapping[str, float]) -> float:
+        return clamp_score(max(m.score(features) for m in self._members))
+
+    def score_request(self, request: ClientRequest) -> float:
+        return self.score(request.features)
+
+
+class NoisyModel:
+    """Wraps a model and perturbs its scores with uniform noise ±ε.
+
+    Models the scoring error the DAbR paper reports; Policy 3's
+    error-range mapping exists precisely to absorb this.  Noise is drawn
+    from the provided RNG so experiments stay reproducible.
+    """
+
+    def __init__(
+        self,
+        inner: ReputationModel,
+        epsilon: float,
+        rng: random.Random | None = None,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self._inner = inner
+        self.epsilon = epsilon
+        self._rng = rng or random.Random(0x0E44)
+
+    @property
+    def name(self) -> str:
+        return f"noisy({self._inner.name},eps={self.epsilon:g})"
+
+    def score(self, features: Mapping[str, float]) -> float:
+        noise = self._rng.uniform(-self.epsilon, self.epsilon)
+        return clamp_score(self._inner.score(features) + noise)
+
+    def score_request(self, request: ClientRequest) -> float:
+        return self.score(request.features)

@@ -1,0 +1,174 @@
+"""Behavioural feedback: the *dynamic* half of Dynamic Attribute-based
+Reputation.
+
+The base DAbR score is computed from static threat-intelligence
+attributes.  The original DAbR paper (and this paper's conclusion) point
+toward scores that *react to observed behaviour*: a client that keeps
+submitting bad solutions or abandoning puzzles should drift toward
+untrustworthy; one with a long record of clean exchanges should earn
+back trust.
+
+:class:`FeedbackReputationModel` wraps any base model with a per-IP
+behavioural offset:
+
+* every rejected/replayed solution adds ``penalty_step`` to the
+  client's offset (up to ``max_penalty``);
+* every served response subtracts ``reward_step`` (down to
+  ``-max_reward``);
+* offsets decay exponentially with a half-life, so stale history fades.
+
+The wrapper satisfies the :class:`~repro.core.interfaces.ReputationModel`
+protocol and can observe outcomes automatically via the framework's
+event bus (:meth:`attach`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Mapping
+
+from repro.core.events import EventBus, EventKind, FrameworkEvent
+from repro.core.interfaces import ReputationModel
+from repro.core.records import ClientRequest, ResponseStatus, ServedResponse
+from repro.reputation.base import clamp_score
+
+__all__ = ["FeedbackConfig", "FeedbackReputationModel"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FeedbackConfig:
+    """Tuning of the behavioural feedback loop.
+
+    Parameters
+    ----------
+    penalty_step:
+        Score points added per bad outcome (rejected/replayed).
+    reward_step:
+        Score points subtracted per clean served exchange.
+    max_penalty / max_reward:
+        Clamps on the accumulated offset in either direction.
+    half_life:
+        Seconds for an offset to decay to half; ``inf`` disables decay.
+    """
+
+    penalty_step: float = 1.0
+    reward_step: float = 0.1
+    max_penalty: float = 5.0
+    max_reward: float = 2.0
+    half_life: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.penalty_step < 0 or self.reward_step < 0:
+            raise ValueError("steps must be >= 0")
+        if self.max_penalty < 0 or self.max_reward < 0:
+            raise ValueError("clamps must be >= 0")
+        if self.half_life <= 0:
+            raise ValueError(f"half_life must be > 0, got {self.half_life}")
+
+
+@dataclasses.dataclass
+class _IpState:
+    offset: float = 0.0
+    updated_at: float = 0.0
+
+
+class FeedbackReputationModel:
+    """Per-IP behavioural offset on top of a base reputation model."""
+
+    #: Outcomes that count as hostile behaviour.
+    _BAD = (ResponseStatus.REJECTED, ResponseStatus.REPLAYED)
+
+    def __init__(
+        self,
+        base: ReputationModel,
+        config: FeedbackConfig | None = None,
+        max_tracked_ips: int = 100_000,
+    ) -> None:
+        if max_tracked_ips <= 0:
+            raise ValueError(
+                f"max_tracked_ips must be > 0, got {max_tracked_ips}"
+            )
+        self.base = base
+        self.config = config or FeedbackConfig()
+        self.max_tracked_ips = max_tracked_ips
+        self._states: dict[str, _IpState] = {}
+
+    @property
+    def name(self) -> str:
+        return f"feedback({self.base.name})"
+
+    @property
+    def tracked_ips(self) -> int:
+        """Number of IPs with a live behavioural offset."""
+        return len(self._states)
+
+    # ------------------------------------------------------------------
+    # ReputationModel protocol
+    # ------------------------------------------------------------------
+    def score(self, features: Mapping[str, float]) -> float:
+        """Base score only — feature-level scoring has no IP context."""
+        return self.base.score(features)
+
+    def score_request(self, request: ClientRequest) -> float:
+        """Base score plus the client's decayed behavioural offset."""
+        base = self.base.score_request(request)
+        offset = self.offset_for(request.client_ip, now=request.timestamp)
+        return clamp_score(base + offset)
+
+    # ------------------------------------------------------------------
+    # Feedback plumbing
+    # ------------------------------------------------------------------
+    def offset_for(self, client_ip: str, now: float) -> float:
+        """The client's current offset, after decay (read-only)."""
+        state = self._states.get(client_ip)
+        if state is None:
+            return 0.0
+        return self._decayed(state, now)
+
+    def _decayed(self, state: _IpState, now: float) -> float:
+        elapsed = max(0.0, now - state.updated_at)
+        if math.isinf(self.config.half_life):
+            return state.offset
+        return state.offset * 0.5 ** (elapsed / self.config.half_life)
+
+    def observe(self, response: ServedResponse, now: float | None = None) -> None:
+        """Fold one terminal outcome into the client's offset."""
+        ip = response.decision.request.client_ip
+        when = response.decision.request.timestamp if now is None else now
+        state = self._states.get(ip)
+        if state is None:
+            if len(self._states) >= self.max_tracked_ips:
+                self._evict_smallest()
+            state = self._states.setdefault(ip, _IpState(updated_at=when))
+        current = self._decayed(state, when)
+
+        if response.status in self._BAD:
+            current = min(
+                current + self.config.penalty_step, self.config.max_penalty
+            )
+        elif response.status is ResponseStatus.SERVED:
+            current = max(
+                current - self.config.reward_step, -self.config.max_reward
+            )
+        # ABANDONED / EXPIRED are ambiguous (patience, network) — neutral.
+
+        state.offset = current
+        state.updated_at = when
+
+    def _evict_smallest(self) -> None:
+        """Drop the IP with the smallest |offset| (least information)."""
+        victim = min(
+            self._states, key=lambda ip: abs(self._states[ip].offset)
+        )
+        del self._states[victim]
+
+    def attach(self, bus: EventBus) -> "FeedbackReputationModel":
+        """Observe outcomes automatically from a framework's bus."""
+        bus.subscribe(self._on_event, kinds=[EventKind.RESPONSE_SERVED])
+        return self
+
+    def _on_event(self, event: FrameworkEvent) -> None:
+        response = event.payload.get("response")
+        if isinstance(response, ServedResponse):
+            self.observe(response, now=event.timestamp)

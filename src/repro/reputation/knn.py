@@ -1,0 +1,57 @@
+"""k-nearest-neighbour reputation model (alternative AI subsystem).
+
+The framework treats the AI model as a swappable component; this k-NN
+scorer is the first drop-in alternative to DAbR.  Unlike DAbR it is
+*supervised* — it uses both benign and malicious examples — and scores an
+IP by the distance-weighted malicious fraction among its ``k`` nearest
+training neighbours, stretched onto the [0, 10] scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reputation.base import BaseReputationModel
+from repro.reputation.dataset import ThreatIntelCorpus
+from repro.reputation.features import FeatureSchema
+
+__all__ = ["KNNReputationModel"]
+
+
+class KNNReputationModel(BaseReputationModel):
+    """Distance-weighted k-NN scorer over the normalised feature space.
+
+    Parameters
+    ----------
+    k:
+        Neighbourhood size.  Clamped to the training-set size at fit
+        time.
+    schema:
+        Feature schema; defaults to the canonical schema.
+    """
+
+    model_name = "knn"
+
+    def __init__(self, k: int = 15, schema: FeatureSchema | None = None) -> None:
+        super().__init__(schema)
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = k
+        self._matrix: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def _fit(self, corpus: ThreatIntelCorpus) -> None:
+        self._matrix = self.schema.normalize(corpus.feature_matrix())
+        self._labels = corpus.labels().astype(np.float64)
+
+    def _score_vector(self, vector: np.ndarray) -> float:
+        assert self._matrix is not None and self._labels is not None
+        distances = np.linalg.norm(self._matrix - vector, axis=1)
+        k = min(self.k, len(distances))
+        nearest = np.argpartition(distances, k - 1)[:k]
+        # Inverse-distance weights; the epsilon keeps exact matches finite.
+        weights = 1.0 / (distances[nearest] + 1e-9)
+        malicious_fraction = float(
+            np.average(self._labels[nearest], weights=weights)
+        )
+        return 10.0 * malicious_fraction

@@ -1,0 +1,110 @@
+"""Logistic-regression reputation model (trained from scratch).
+
+A third interchangeable AI subsystem: supervised logistic regression
+over the normalised feature space, fitted by full-batch gradient
+descent with L2 regularisation — no external ML dependency, which keeps
+the reproduction self-contained.  The score is the predicted
+probability of maliciousness stretched to the paper's [0, 10] scale.
+
+Included because the framework's modularity claim deserves more than
+one model *family*: DAbR is unsupervised-distance, k-NN is local
+memorisation, and this is a global parametric boundary.  The `acc80`
+context table in EXPERIMENTS.md compares all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reputation.base import BaseReputationModel
+from repro.reputation.dataset import ThreatIntelCorpus
+from repro.reputation.features import FeatureSchema
+
+__all__ = ["LogisticReputationModel"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; gradients are unaffected in practice.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticReputationModel(BaseReputationModel):
+    """L2-regularised logistic regression via gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient step size.
+    iterations:
+        Full-batch gradient steps.
+    l2:
+        Ridge penalty on the weights (not the bias).
+    """
+
+    model_name = "logistic"
+
+    def __init__(
+        self,
+        schema: FeatureSchema | None = None,
+        learning_rate: float = 0.5,
+        iterations: int = 400,
+        l2: float = 1e-3,
+    ) -> None:
+        super().__init__(schema)
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self._weights: np.ndarray | None = None
+        self._bias: float = 0.0
+        self.loss_history: list[float] = []
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Learned weights in normalised feature space."""
+        if self._weights is None:
+            raise AttributeError("model is not fitted")
+        return self._weights.copy()
+
+    def _fit(self, corpus: ThreatIntelCorpus) -> None:
+        matrix = self.schema.normalize(corpus.feature_matrix())
+        labels = corpus.labels().astype(np.float64)
+        if labels.min() == labels.max():
+            raise ValueError(
+                "logistic regression needs both classes in the corpus"
+            )
+        n, k = matrix.shape
+        weights = np.zeros(k)
+        bias = 0.0
+        self.loss_history = []
+        for _ in range(self.iterations):
+            predictions = _sigmoid(matrix @ weights + bias)
+            error = predictions - labels
+            grad_w = matrix.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            # Cross-entropy (clipped) for convergence diagnostics.
+            eps = 1e-12
+            loss = float(
+                -np.mean(
+                    labels * np.log(predictions + eps)
+                    + (1 - labels) * np.log(1 - predictions + eps)
+                )
+                + 0.5 * self.l2 * float(weights @ weights)
+            )
+            self.loss_history.append(loss)
+        self._weights = weights
+        self._bias = bias
+
+    def _score_vector(self, vector: np.ndarray) -> float:
+        assert self._weights is not None
+        probability = float(
+            _sigmoid(np.asarray(vector) @ self._weights + self._bias)
+        )
+        return 10.0 * probability

@@ -1,0 +1,121 @@
+"""Model persistence: fit once, deploy everywhere.
+
+Serialises fitted reputation models to JSON documents (no pickle — the
+artifacts are auditable text, safe to load from config management).
+Supports the parametric models whose fitted state is small:
+:class:`DAbRModel` (centroid + scale) and
+:class:`LogisticReputationModel` (weights + bias).  Memorising models
+(k-NN) are deliberately unsupported: persisting the training set is a
+data-governance decision, not a serialisation default.
+
+The document embeds the feature schema's names so loading against a
+mismatched schema fails loudly instead of scoring garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import ReputationError
+from repro.reputation.dabr import DAbRModel
+from repro.reputation.features import DEFAULT_SCHEMA, FeatureSchema
+from repro.reputation.logistic import LogisticReputationModel
+
+__all__ = ["dump_model", "load_model", "save_model_file", "load_model_file"]
+
+_FORMAT_VERSION = 1
+
+
+def dump_model(model) -> str:
+    """Serialise a fitted model to a JSON document."""
+    if isinstance(model, DAbRModel):
+        if not model.fitted:
+            raise ReputationError("cannot persist an unfitted model")
+        payload: dict[str, Any] = {
+            "format": _FORMAT_VERSION,
+            "type": "dabr",
+            "schema": list(model.schema.names),
+            "centroid": model.centroid.tolist(),
+            "scale": model.scale,
+            "scale_percentile": model.scale_percentile,
+            "gamma": model.gamma,
+        }
+    elif isinstance(model, LogisticReputationModel):
+        if not model.fitted:
+            raise ReputationError("cannot persist an unfitted model")
+        payload = {
+            "format": _FORMAT_VERSION,
+            "type": "logistic",
+            "schema": list(model.schema.names),
+            "weights": model.weights.tolist(),
+            "bias": model._bias,
+            "learning_rate": model.learning_rate,
+            "iterations": model.iterations,
+            "l2": model.l2,
+        }
+    else:
+        raise ReputationError(
+            f"cannot persist model of type {type(model).__name__}; "
+            "supported: DAbRModel, LogisticReputationModel"
+        )
+    return json.dumps(payload, indent=2)
+
+
+def load_model(document: str, schema: FeatureSchema | None = None):
+    """Reconstruct a fitted model from :func:`dump_model` output."""
+    schema = schema or DEFAULT_SCHEMA
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise ReputationError(f"invalid model JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReputationError("model document must be a JSON object")
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ReputationError(
+            f"unsupported model format {payload.get('format')!r}"
+        )
+    stored_schema = payload.get("schema")
+    if tuple(stored_schema or ()) != schema.names:
+        raise ReputationError(
+            "schema mismatch: document was fitted on "
+            f"{stored_schema}, loading against {list(schema.names)}"
+        )
+
+    kind = payload.get("type")
+    if kind == "dabr":
+        model = DAbRModel(
+            schema=schema,
+            scale_percentile=float(payload["scale_percentile"]),
+            gamma=float(payload["gamma"]),
+        )
+        model._centroid = np.asarray(payload["centroid"], dtype=np.float64)
+        model._scale = float(payload["scale"])
+        model._fitted = True
+        return model
+    if kind == "logistic":
+        model = LogisticReputationModel(
+            schema=schema,
+            learning_rate=float(payload["learning_rate"]),
+            iterations=int(payload["iterations"]),
+            l2=float(payload["l2"]),
+        )
+        model._weights = np.asarray(payload["weights"], dtype=np.float64)
+        model._bias = float(payload["bias"])
+        model._fitted = True
+        return model
+    raise ReputationError(f"unknown model type {kind!r}")
+
+
+def save_model_file(model, path) -> None:
+    """Write :func:`dump_model` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_model(model))
+
+
+def load_model_file(path, schema: FeatureSchema | None = None):
+    """Load a model written by :func:`save_model_file`."""
+    with open(path, encoding="utf-8") as handle:
+        return load_model(handle.read(), schema=schema)

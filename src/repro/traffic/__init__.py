@@ -1,0 +1,48 @@
+"""Traffic substrate: IP utilities, client profiles, workload generation."""
+
+from repro.traffic.arrivals import (
+    onoff_arrivals,
+    poisson_arrivals,
+    ramp_arrivals,
+    uniform_arrivals,
+)
+from repro.traffic.generator import (
+    SimClientSpec,
+    WorkloadGenerator,
+    make_population,
+)
+from repro.traffic.ipaddr import (
+    int_to_ip,
+    ip_to_int,
+    is_valid_ipv4,
+    random_ip_in_subnet,
+    subnet_of,
+)
+from repro.traffic.profiles import (
+    BENIGN_PROFILE,
+    MALICIOUS_PROFILE,
+    STEALTH_PROFILE,
+    ClientProfile,
+)
+from repro.traffic.trace import Trace, TraceEntry
+
+__all__ = [
+    "ClientProfile",
+    "BENIGN_PROFILE",
+    "MALICIOUS_PROFILE",
+    "STEALTH_PROFILE",
+    "SimClientSpec",
+    "WorkloadGenerator",
+    "make_population",
+    "Trace",
+    "TraceEntry",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "onoff_arrivals",
+    "ramp_arrivals",
+    "ip_to_int",
+    "int_to_ip",
+    "is_valid_ipv4",
+    "random_ip_in_subnet",
+    "subnet_of",
+]

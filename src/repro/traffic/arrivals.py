@@ -1,0 +1,94 @@
+"""Arrival processes for open-loop workload generation.
+
+Request inter-arrival timing is its own concern: the same client
+population can trickle (Poisson), burst (on/off), or ramp (flash crowd /
+attack onset).  Each process yields arrival timestamps; generators zip
+them with client picks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["poisson_arrivals", "uniform_arrivals", "onoff_arrivals", "ramp_arrivals"]
+
+
+def poisson_arrivals(
+    rate: float, duration: float, rng: random.Random, start: float = 0.0
+) -> Iterator[float]:
+    """Poisson process: exponential inter-arrivals at ``rate`` per second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    t = start
+    end = start + duration
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return
+        yield t
+
+
+def uniform_arrivals(
+    rate: float, duration: float, start: float = 0.0
+) -> Iterator[float]:
+    """Deterministic evenly-spaced arrivals at ``rate`` per second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    interval = 1.0 / rate
+    t = start + interval
+    end = start + duration
+    while t < end:
+        yield t
+        t += interval
+
+
+def onoff_arrivals(
+    rate: float,
+    duration: float,
+    rng: random.Random,
+    on_seconds: float = 1.0,
+    off_seconds: float = 4.0,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Bursty on/off process: Poisson at ``rate`` during ON windows.
+
+    Windows alternate deterministically (``on_seconds`` on, then
+    ``off_seconds`` off); within an ON window arrivals are Poisson.
+    Models pulsing DDoS floods.
+    """
+    if on_seconds <= 0 or off_seconds < 0:
+        raise ValueError("on_seconds must be > 0 and off_seconds >= 0")
+    window_start = start
+    end = start + duration
+    while window_start < end:
+        window_end = min(window_start + on_seconds, end)
+        yield from poisson_arrivals(
+            rate, window_end - window_start, rng, start=window_start
+        )
+        window_start = window_end + off_seconds
+
+
+def ramp_arrivals(
+    peak_rate: float,
+    duration: float,
+    rng: random.Random,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Linearly ramping Poisson process from 0 up to ``peak_rate``.
+
+    Implemented by thinning a homogeneous process at the peak rate;
+    models attack onset and flash crowds.
+    """
+    if peak_rate <= 0:
+        raise ValueError(f"peak_rate must be > 0, got {peak_rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    for t in poisson_arrivals(peak_rate, duration, rng, start=start):
+        accept_probability = (t - start) / duration
+        if rng.random() < accept_probability:
+            yield t

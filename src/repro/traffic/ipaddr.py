@@ -1,0 +1,82 @@
+"""Small IPv4 utilities used by the traffic and attack generators.
+
+The library never routes packets; addresses are identifiers that (a) key
+reputation lookups, (b) enter the puzzle's immutable prefix, and (c) let
+workload generators carve client populations into subnets.  A tiny
+purpose-built helper set beats pulling in :mod:`ipaddress` objects that
+would then be stringified everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "is_valid_ipv4",
+    "random_ip_in_subnet",
+    "subnet_of",
+]
+
+
+def ip_to_int(ip: str) -> int:
+    """Dotted-quad → 32-bit integer.  Raises ``ValueError`` when invalid."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 literal: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 literal: {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"invalid IPv4 literal: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit integer → dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"value {value} outside 32-bit range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_valid_ipv4(ip: str) -> bool:
+    """True when ``ip`` parses as a dotted-quad IPv4 literal."""
+    try:
+        ip_to_int(ip)
+    except ValueError:
+        return False
+    return True
+
+
+def random_ip_in_subnet(cidr: str, rng: random.Random) -> str:
+    """A uniformly random host address inside ``cidr`` (e.g. "10.1.0.0/16").
+
+    Network and broadcast addresses are avoided for /30 and wider
+    prefixes, mirroring real host addressing.
+    """
+    base, _, prefix_str = cidr.partition("/")
+    if not prefix_str:
+        raise ValueError(f"CIDR needs a prefix length: {cidr!r}")
+    prefix = int(prefix_str)
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix length must be in [0, 32]: {cidr!r}")
+    network = ip_to_int(base) & (~0 << (32 - prefix) & 0xFFFFFFFF)
+    host_bits = 32 - prefix
+    size = 1 << host_bits
+    if host_bits >= 2:
+        offset = rng.randint(1, size - 2)
+    else:
+        offset = rng.randint(0, size - 1)
+    return int_to_ip(network + offset)
+
+
+def subnet_of(ip: str, prefix: int = 24) -> str:
+    """The ``/prefix`` network containing ``ip``, in CIDR notation."""
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix length must be in [0, 32], got {prefix}")
+    network = ip_to_int(ip) & (~0 << (32 - prefix) & 0xFFFFFFFF)
+    return f"{int_to_ip(network)}/{prefix}"

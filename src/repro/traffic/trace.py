@@ -1,0 +1,137 @@
+"""Trace records: replayable request streams.
+
+A :class:`TraceEntry` is one timestamped request with its generating
+client's metadata (profile, ground-truth intensity).  A :class:`Trace`
+is an ordered collection with JSONL persistence, so a workload generated
+once can be replayed against different policies — the discipline that
+makes policy A/B comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.records import ClientRequest
+
+__all__ = ["TraceEntry", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One generated request plus its ground truth.
+
+    ``true_score`` (10 × the generating client's intensity) is carried
+    alongside so experiments can measure how the AI model's mistakes
+    propagate into latency — without peeking during scoring.
+    """
+
+    request: ClientRequest
+    profile: str
+    true_score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.true_score <= 10.0:
+            raise ValueError(
+                f"true_score must be in [0, 10], got {self.true_score}"
+            )
+
+    def to_json(self) -> str:
+        """Serialise to one JSON line."""
+        return json.dumps(
+            {
+                "ip": self.request.client_ip,
+                "resource": self.request.resource,
+                "timestamp": self.request.timestamp,
+                "features": dict(self.request.features),
+                "request_id": self.request.request_id,
+                "profile": self.profile,
+                "true_score": self.true_score,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        """Parse a line produced by :meth:`to_json`."""
+        data = json.loads(line)
+        request = ClientRequest(
+            client_ip=data["ip"],
+            resource=data["resource"],
+            timestamp=float(data["timestamp"]),
+            features=data["features"],
+            request_id=data.get("request_id", ""),
+        )
+        return cls(
+            request=request,
+            profile=data["profile"],
+            true_score=float(data["true_score"]),
+        )
+
+
+class Trace:
+    """An ordered, replayable sequence of :class:`TraceEntry`.
+
+    Entries are kept sorted by request timestamp; iteration yields them
+    in arrival order, which is what the simulator consumes.
+    """
+
+    def __init__(self, entries: Iterable[TraceEntry] = ()) -> None:
+        self._entries: list[TraceEntry] = sorted(
+            entries, key=lambda e: e.request.timestamp
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> Sequence[TraceEntry]:
+        return tuple(self._entries)
+
+    def append(self, entry: TraceEntry) -> None:
+        """Insert ``entry`` keeping timestamp order."""
+        import bisect
+
+        keys = [e.request.timestamp for e in self._entries]
+        index = bisect.bisect_right(keys, entry.request.timestamp)
+        self._entries.insert(index, entry)
+
+    def duration(self) -> float:
+        """Time span covered by the trace (0 for empty/singleton traces)."""
+        if len(self._entries) < 2:
+            return 0.0
+        return (
+            self._entries[-1].request.timestamp
+            - self._entries[0].request.timestamp
+        )
+
+    def by_profile(self) -> dict[str, list[TraceEntry]]:
+        """Entries grouped by generating profile name."""
+        groups: dict[str, list[TraceEntry]] = {}
+        for entry in self._entries:
+            groups.setdefault(entry.profile, []).append(entry)
+        return groups
+
+    def dump_jsonl(self, path) -> None:
+        """Write the trace as JSONL to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(entry.to_json() + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Trace":
+        """Load a trace written by :meth:`dump_jsonl`."""
+        entries = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(TraceEntry.from_json(line))
+        return cls(entries)

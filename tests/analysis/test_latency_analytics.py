@@ -1,0 +1,133 @@
+"""Tests for the closed-form latency model (and its agreement with
+sampling)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.latency import (
+    difficulty_distribution,
+    latency_curve,
+    latency_quantile,
+    mean_latency,
+)
+from repro.core.config import TimingConfig
+from repro.policies.error_range import ErrorRangePolicy, policy_3
+from repro.policies.linear import policy_1, policy_2
+from repro.policies.table import FixedPolicy
+from repro.pow.solver import sample_attempts
+
+TIMING = TimingConfig()
+
+
+class TestDifficultyDistribution:
+    def test_deterministic_policy_is_point_mass(self):
+        dist = difficulty_distribution(policy_2(), 4.0)
+        assert dist == {9: 1.0}
+
+    def test_error_range_is_uniform_over_interval(self):
+        policy = ErrorRangePolicy(epsilon=2.0)
+        dist = difficulty_distribution(policy, 5.0)
+        low, high = policy.interval(5.0)
+        assert set(dist) == set(range(low, high + 1))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert len(set(dist.values())) == 1  # uniform
+
+    def test_unknown_randomized_policy_rejected(self):
+        class Coin:
+            name = "coin"
+
+            def difficulty_for(self, score, rng):
+                return rng.randint(1, 2)
+
+        with pytest.raises(ValueError, match="randomized"):
+            difficulty_distribution(Coin(), 5.0)
+
+
+class TestMeanLatency:
+    def test_fixed_policy_closed_form(self):
+        mean = mean_latency(FixedPolicy(10), 0.0, TIMING)
+        assert mean == pytest.approx(TIMING.expected_latency(10))
+
+    def test_error_range_mean_exceeds_point_policy(self):
+        # Mixture mean is dominated by the interval's upper end.
+        assert mean_latency(policy_3(), 10.0, TIMING) > mean_latency(
+            policy_1(), 10.0, TIMING
+        )
+
+    def test_mean_matches_sampling(self):
+        rng = random.Random(5)
+        policy = policy_3(epsilon=2.0)
+        n = 8000
+        total = 0.0
+        for _ in range(n):
+            d = policy.difficulty_for(6.0, rng)
+            total += (
+                TIMING.network_overhead
+                + TIMING.server_processing
+                + sample_attempts(d, rng) * TIMING.seconds_per_attempt
+            )
+        assert total / n == pytest.approx(
+            mean_latency(policy, 6.0, TIMING), rel=0.1
+        )
+
+
+class TestLatencyQuantile:
+    def test_median_below_mean_for_geometric(self):
+        median = latency_quantile(FixedPolicy(12), 0.0, 0.5, TIMING)
+        mean = mean_latency(FixedPolicy(12), 0.0, TIMING)
+        assert median < mean
+
+    def test_quantiles_monotone(self):
+        qs = [0.1, 0.5, 0.9, 0.99]
+        values = [
+            latency_quantile(policy_2(), 10.0, q, TIMING) for q in qs
+        ]
+        assert values == sorted(values)
+
+    def test_median_matches_sampling(self):
+        rng = random.Random(9)
+        samples = sorted(
+            TIMING.network_overhead
+            + TIMING.server_processing
+            + sample_attempts(12, rng) * TIMING.seconds_per_attempt
+            for _ in range(4001)
+        )
+        empirical = samples[2000]
+        analytic = latency_quantile(FixedPolicy(12), 0.0, 0.5, TIMING)
+        assert empirical == pytest.approx(analytic, rel=0.1)
+
+    def test_q_domain(self):
+        with pytest.raises(ValueError):
+            latency_quantile(policy_1(), 0.0, 0.0, TIMING)
+        with pytest.raises(ValueError):
+            latency_quantile(policy_1(), 0.0, 1.0, TIMING)
+
+
+class TestLatencyCurve:
+    def test_curve_matches_figure2_shape(self):
+        p1 = latency_curve(policy_1(), timing=TIMING)
+        p2 = latency_curve(policy_2(), timing=TIMING)
+        assert len(p1) == len(p2) == 11
+        assert all(b >= a for a, b in zip(p1, p1[1:]))
+        assert p2[-1] > 5 * p1[-1]
+
+    def test_curve_anchors_31ms(self):
+        p1 = latency_curve(policy_1(), timing=TIMING, statistic="mean")
+        assert p1[0] == pytest.approx(31.0, abs=1.0)
+
+    def test_statistic_validation(self):
+        with pytest.raises(ValueError):
+            latency_curve(policy_1(), statistic="mode")
+
+    def test_analytic_agrees_with_figure2_harness(self):
+        """The sampled Figure 2 medians converge to the analytic curve."""
+        from repro.bench.figure2 import Figure2Config, run_figure2
+
+        result = run_figure2(Figure2Config(trials=400, seed=3))
+        analytic = latency_curve(policy_2(), timing=TIMING)
+        sampled = result.medians_ms["policy-2"]
+        for a, s in zip(analytic[5:], sampled[5:]):  # above the floor
+            assert s == pytest.approx(a, rel=0.35)

@@ -1,0 +1,120 @@
+"""Tests for policy synthesis and the analytic comparison table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.comparison import compare_policies
+from repro.analysis.latency import latency_quantile
+from repro.analysis.synthesis import (
+    difficulty_for_latency,
+    price_out_policy,
+    synthesize_table_policy,
+)
+from repro.attacks.adaptive import AdaptiveAttacker
+from repro.core.config import TimingConfig
+from repro.policies import paper_policies
+
+TIMING = TimingConfig()
+
+
+class TestDifficultyForLatency:
+    def test_floor_targets_give_zero(self):
+        # A target equal to the bare overhead leaves no hash budget.
+        assert difficulty_for_latency(0.0305, TIMING) == 0
+
+    def test_round_trip_through_latency_model(self):
+        for d in (6, 10, 14):
+            target = latency_quantile(
+                _fixed(d), 0.0, 0.5, TIMING
+            )
+            assert difficulty_for_latency(target, TIMING) == d
+
+    def test_larger_targets_harder_puzzles(self):
+        small = difficulty_for_latency(0.05, TIMING)
+        large = difficulty_for_latency(5.0, TIMING)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            difficulty_for_latency(0.0, TIMING)
+        with pytest.raises(ValueError):
+            difficulty_for_latency(1.0, TIMING, statistic="mode")
+
+
+def _fixed(d: int):
+    from repro.policies.table import FixedPolicy
+
+    return FixedPolicy(d)
+
+
+class TestSynthesizeTablePolicy:
+    def test_meets_budgets_approximately(self):
+        budgets = [0.032, 0.04, 0.08, 0.16, 0.32, 0.64,
+                   1.28, 2.56, 5.12, 10.24, 20.48]
+        policy = synthesize_table_policy(budgets, TIMING)
+        rng = random.Random(1)
+        for score, budget in enumerate(budgets):
+            d = policy.difficulty_for(float(score), rng)
+            achieved = latency_quantile(_fixed(d), 0.0, 0.5, TIMING)
+            # Within a factor of ~2 (difficulty is quantised in bits).
+            assert achieved == pytest.approx(budget, rel=1.0)
+
+    def test_monotonicity_repaired(self):
+        # A dip at score 2 must not produce an easier puzzle.
+        policy = synthesize_table_policy([0.1, 0.5, 0.05, 1.0], TIMING)
+        assert list(policy.entries) == sorted(policy.entries)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_table_policy([0.1], TIMING)
+
+
+class TestPriceOutPolicy:
+    def test_prices_out_at_threshold(self):
+        attacker = AdaptiveAttacker(value_per_request=0.25)
+        policy = price_out_policy(attacker, threshold_score=8.0)
+        rng = random.Random(2)
+        for score in (8.0, 9.0, 10.0):
+            d = policy.difficulty_for(score, rng)
+            assert not attacker.should_solve(d), (
+                f"attacker still solves at score {score} (d={d})"
+            )
+
+    def test_minimal_base(self):
+        """One less base offset would leave the attacker solvent."""
+        attacker = AdaptiveAttacker(value_per_request=0.25)
+        policy = price_out_policy(attacker, threshold_score=8.0)
+        rng = random.Random(3)
+        if policy.base > 0:
+            from repro.policies.linear import LinearPolicy
+
+            gentler = LinearPolicy(base=policy.base - 1)
+            d = gentler.difficulty_for(8.0, rng)
+            assert attacker.should_solve(d)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            price_out_policy(AdaptiveAttacker(), threshold_score=11.0)
+
+
+class TestComparePolicies:
+    def test_paper_policies_table(self):
+        result = compare_policies(paper_policies(), TIMING)
+        assert len(result.rows) == 3
+        by_name = {row[0]: row for row in result.rows}
+        # Policy 2's amplification dominates the other two.
+        assert by_name["policy-2"][3] > by_name["policy-1"][3]
+        assert by_name["policy-2"][3] > by_name["policy-3"][3]
+        # Expected work at score 10: policy-2 grinds 2**15.
+        assert by_name["policy-2"][6] == pytest.approx(2**15)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_policies([])
+
+    def test_render(self):
+        text = compare_policies(paper_policies(), TIMING).render()
+        assert "amplification" in text

@@ -1,0 +1,108 @@
+"""Tests for trace and audit-log analytics."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.traces import diff_audits, summarize_audit, summarize_trace
+from repro.core.audit import AuditLog, AuditRecord
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ClientRequest
+from repro.policies.linear import policy_1, policy_2
+from repro.pow.solver import HashSolver
+from repro.reputation.ensemble import ConstantModel
+from repro.traffic.generator import WorkloadGenerator
+from repro.traffic.profiles import BENIGN_PROFILE, MALICIOUS_PROFILE
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    generator = WorkloadGenerator(seed=23)
+    trace, _ = generator.mixed_trace(
+        [(BENIGN_PROFILE, 4), (MALICIOUS_PROFILE, 4)], duration=5.0
+    )
+    return trace
+
+
+class TestSummarizeTrace:
+    def test_profiles_reported(self, mixed_trace):
+        result = summarize_trace(mixed_trace)
+        profiles = [row[0] for row in result.rows]
+        assert profiles == ["benign", "malicious"]
+
+    def test_counts_partition_trace(self, mixed_trace):
+        result = summarize_trace(mixed_trace)
+        assert sum(row[1] for row in result.rows) == len(mixed_trace)
+
+    def test_malicious_scores_higher(self, mixed_trace):
+        result = summarize_trace(mixed_trace)
+        by_profile = {row[0]: row for row in result.rows}
+        assert by_profile["malicious"][4] > by_profile["benign"][4]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace(Trace([]))
+
+
+def run_audited_exchanges(policy, ips=("23.1.1.1", "110.2.2.2")):
+    """Run one exchange per ip under ``policy``; return audit records."""
+    framework = AIPoWFramework(ConstantModel(5.0), policy)
+    sink = io.StringIO()
+    AuditLog(sink).attach(framework.events)
+    solver = HashSolver()
+    for i, ip in enumerate(ips):
+        request = ClientRequest(
+            client_ip=ip, resource="/r", timestamp=float(i), features={}
+        )
+        challenge = framework.challenge(request, now=float(i))
+        solution = solver.solve(challenge.puzzle, ip)
+        framework.redeem(challenge, solution, now=float(i) + 0.1)
+    return [
+        AuditRecord.from_json(line)
+        for line in sink.getvalue().splitlines()
+        if line
+    ]
+
+
+class TestSummarizeAudit:
+    def test_per_client_rows(self):
+        records = run_audited_exchanges(policy_1())
+        result = summarize_audit(records)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[1] == 1            # one challenge each
+            assert row[5] == 1.0          # all served
+            assert row[3] == 6            # ceil(5) + 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_audit([])
+
+
+class TestDiffAudits:
+    def test_policy_change_shows_positive_delta(self):
+        before = run_audited_exchanges(policy_1())
+        after = run_audited_exchanges(policy_2())
+        result = diff_audits(before, after)
+        assert result.extra["shared_clients"] == 2
+        # policy-2 adds exactly 4 bits over policy-1 at every score.
+        assert all(row[3] == pytest.approx(4.0) for row in result.rows)
+
+    def test_disjoint_logs_rejected(self):
+        a = run_audited_exchanges(policy_1(), ips=("23.1.1.1",))
+        b = run_audited_exchanges(policy_1(), ips=("99.9.9.9",))
+        with pytest.raises(ValueError):
+            diff_audits(a, b)
+
+    def test_top_limits_rows(self):
+        before = run_audited_exchanges(
+            policy_1(), ips=tuple(f"23.0.0.{i}" for i in range(1, 6))
+        )
+        after = run_audited_exchanges(
+            policy_2(), ips=tuple(f"23.0.0.{i}" for i in range(1, 6))
+        )
+        result = diff_audits(before, after, top=3)
+        assert len(result.rows) == 3

@@ -1,0 +1,71 @@
+"""Unit tests for the attacker models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adaptive import AdaptiveAttacker
+from repro.attacks.base import AttackerModel
+from repro.attacks.botnet import BotnetAttacker
+from repro.attacks.flood import FloodAttacker
+
+
+class TestFloodAttacker:
+    def test_never_solves_real_puzzles(self):
+        attacker = FloodAttacker()
+        assert not any(attacker.should_solve(d) for d in range(1, 30))
+
+    def test_difficulty_zero_is_free(self):
+        assert FloodAttacker().should_solve(0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(FloodAttacker(), AttackerModel)
+
+
+class TestBotnetAttacker:
+    def test_budget_respected(self):
+        attacker = BotnetAttacker(max_difficulty=12)
+        assert attacker.should_solve(12)
+        assert not attacker.should_solve(13)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BotnetAttacker(max_difficulty=-1)
+
+    def test_protocol_conformance(self):
+        assert isinstance(BotnetAttacker(), AttackerModel)
+
+
+class TestAdaptiveAttacker:
+    def test_break_even_matches_should_solve(self):
+        attacker = AdaptiveAttacker(value_per_request=0.25, hash_rate=37_000)
+        d = attacker.break_even_difficulty()
+        assert attacker.should_solve(d)
+        assert not attacker.should_solve(d + 1)
+
+    def test_break_even_grows_with_budget(self):
+        small = AdaptiveAttacker(value_per_request=0.01)
+        large = AdaptiveAttacker(value_per_request=10.0)
+        assert (
+            large.break_even_difficulty() > small.break_even_difficulty()
+        )
+
+    def test_break_even_grows_with_hash_rate(self):
+        slow = AdaptiveAttacker(hash_rate=1_000.0)
+        fast = AdaptiveAttacker(hash_rate=1_000_000.0)
+        assert fast.break_even_difficulty() > slow.break_even_difficulty()
+
+    def test_expected_cost_doubles_per_bit(self):
+        attacker = AdaptiveAttacker()
+        assert attacker.expected_cost_seconds(11) == pytest.approx(
+            2 * attacker.expected_cost_seconds(10)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAttacker(value_per_request=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveAttacker(hash_rate=0.0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(AdaptiveAttacker(), AttackerModel)

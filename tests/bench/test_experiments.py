@@ -1,0 +1,194 @@
+"""Tests for the experiment harness: every paper artifact regenerates.
+
+These are the reproduction's acceptance tests — each asserts the
+*shape* the paper reports, not absolute numbers (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.accuracy import AccuracyConfig, run_accuracy
+from repro.bench.ablations import (
+    run_attacker_economics,
+    run_base_offset_ablation,
+    run_epsilon_ablation,
+)
+from repro.bench.calibration import (
+    CalibrationConfig,
+    fit_timing_config,
+    run_calibration,
+)
+from repro.bench.figure2 import Figure2Config, check_shape, run_figure2
+from repro.bench.results import ExperimentResult
+from repro.bench.runner import EXPERIMENTS, run_experiment
+from repro.core.errors import ComponentNotFoundError
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure2(Figure2Config())
+
+    def test_three_policies_eleven_scores(self, result):
+        assert set(result.medians_ms) == {
+            "policy-1", "policy-2", "policy-3",
+        }
+        assert all(len(s) == 11 for s in result.medians_ms.values())
+
+    def test_shape_matches_paper(self, result):
+        assert check_shape(result) == []
+
+    def test_policy2_exceeds_policy1_everywhere(self, result):
+        p1 = result.medians_ms["policy-1"]
+        p2 = result.medians_ms["policy-2"]
+        assert all(b >= a for a, b in zip(p1, p2))
+
+    def test_policy2_score10_in_paper_band(self, result):
+        # Paper's Figure 2 peaks near 900 ms for Policy 2 at score 10;
+        # the calibrated model should land in the same order of
+        # magnitude (hundreds of ms, under ~2 s).
+        peak = result.medians_ms["policy-2"][-1]
+        assert 300.0 <= peak <= 2000.0
+
+    def test_score0_near_31ms_floor(self, result):
+        for series in result.medians_ms.values():
+            assert series[0] == pytest.approx(31.0, abs=5.0)
+
+    def test_deterministic_given_seed(self):
+        a = run_figure2(Figure2Config(seed=5, trials=10))
+        b = run_figure2(Figure2Config(seed=5, trials=10))
+        assert a.medians_ms == b.medians_ms
+
+    def test_experiment_result_renderable(self, result):
+        rendered = result.to_experiment_result().render()
+        assert "Figure 2" in rendered
+        assert "policy-2" in rendered
+        chart = result.render_chart()
+        assert "policy-3" in chart
+        table = result.render_table()
+        assert "score" in table
+
+    def test_grind_mode_small(self):
+        config = Figure2Config(
+            scores=(0, 2), trials=3, mode="grind"
+        )
+        result = run_figure2(config)
+        assert all(len(s) == 2 for s in result.medians_ms.values())
+        # Real hashing at difficulty <= 7 is nearly instant, so the
+        # configured overhead dominates.
+        assert result.medians_ms["policy-1"][0] < 100.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Figure2Config(trials=0)
+        with pytest.raises(ValueError):
+            Figure2Config(scores=())
+        with pytest.raises(ValueError):
+            Figure2Config(mode="imagined")
+
+
+class TestCalibration:
+    def test_one_difficult_is_31ms(self):
+        result = run_calibration()
+        assert result.extra["one_difficult_ms"] == pytest.approx(31.0, abs=2.0)
+
+    def test_latency_increases_with_difficulty(self):
+        result = run_calibration()
+        means = [row[1] for row in result.rows]
+        assert means == sorted(means)
+
+    def test_fit_timing_config_hits_target(self):
+        timing = fit_timing_config(target_one_difficult_ms=31.0)
+        assert timing.expected_latency(1) * 1000 == pytest.approx(31.0)
+
+    def test_fit_timing_rejects_impossible_target(self):
+        with pytest.raises(ValueError):
+            fit_timing_config(
+                target_one_difficult_ms=0.001, seconds_per_attempt=1.0
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(trials=0)
+        with pytest.raises(ValueError):
+            CalibrationConfig(difficulties=())
+
+
+class TestAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_accuracy(AccuracyConfig(corpus_size=3000))
+
+    def test_dabr_near_80_percent(self, result):
+        assert result.extra["dabr_accuracy"] == pytest.approx(0.80, abs=0.06)
+
+    def test_epsilon_positive_and_reported(self, result):
+        assert result.extra["dabr_epsilon"] > 0
+        assert "epsilon" in result.headers
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyConfig(corpus_size=5)
+        with pytest.raises(ValueError):
+            AccuracyConfig(train_fraction=1.5)
+
+
+class TestAblations:
+    def test_base_offset_amplification_grows(self):
+        result = run_base_offset_ablation(bases=(1, 3, 5, 7), trials=40)
+        amplifications = [row[3] for row in result.rows]
+        assert amplifications[-1] > amplifications[0]
+
+    def test_epsilon_widens_honest_variance(self):
+        result = run_epsilon_ablation(epsilons=(0.0, 4.0), trials=200)
+        stdev_score0 = [row[2] for row in result.rows]
+        assert stdev_score0[-1] > stdev_score0[0]
+
+    def test_attacker_economics_monotone(self):
+        result = run_attacker_economics(budgets=(0.01, 1.0, 100.0))
+        break_evens = [row[1] for row in result.rows]
+        assert break_evens == sorted(break_evens)
+        assert break_evens[-1] > break_evens[0]
+
+
+class TestRunner:
+    def test_experiment_ids_match_design_doc(self):
+        assert {
+            "fig2", "cal31", "acc80", "throttle",
+            "abl-policy", "abl-epsilon", "abl-econ",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ComponentNotFoundError):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("cal31")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "cal31"
+
+
+class TestExperimentResult:
+    def test_json_round_trip(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["a"],
+            rows=[[1.5]],
+            notes=["n"],
+            extra={"k": 2},
+        )
+        data = json.loads(result.to_json())
+        assert data["experiment_id"] == "x"
+        assert data["rows"] == [[1.5]]
+        assert data["extra"]["k"] == 2
+
+    def test_render_contains_notes(self):
+        result = ExperimentResult(
+            experiment_id="x", title="Title", headers=["h"], rows=[[1]],
+            notes=["important caveat"],
+        )
+        assert "important caveat" in result.render()

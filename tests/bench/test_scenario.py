@@ -1,0 +1,128 @@
+"""Tests for the JSON scenario runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.scenario import load_scenario, run_scenario, run_scenario_json
+from repro.core.errors import ConfigError
+
+BASE_SCENARIO = {
+    "name": "unit-test",
+    "duration": 5.0,
+    "seed": 3,
+    "model": {"kind": "constant", "value": 5.0},
+    "policy": {"kind": "linear", "base": 2},
+    "populations": [
+        {"profile": "benign", "count": 3},
+        {"profile": "malicious", "count": 3},
+    ],
+    "attackers": {"malicious": {"kind": "botnet", "max_difficulty": 12}},
+    "pow_enabled": True,
+}
+
+
+def scenario_with(**overrides):
+    data = dict(BASE_SCENARIO)
+    data.update(overrides)
+    return data
+
+
+class TestLoadScenario:
+    def test_loads_base(self):
+        scenario = load_scenario(BASE_SCENARIO)
+        assert scenario.name == "unit-test"
+        assert scenario.framework.policy.name == "linear(base=2)"
+        assert len(scenario.populations) == 2
+        assert "malicious" in scenario.solve_deciders
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario keys"):
+            load_scenario(scenario_with(bogus=1))
+
+    def test_empty_populations_rejected(self):
+        with pytest.raises(ConfigError, match="population"):
+            load_scenario(scenario_with(populations=[]))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError, match="unknown profile"):
+            load_scenario(
+                scenario_with(populations=[{"profile": "alien", "count": 1}])
+            )
+
+    def test_inline_profile_object(self):
+        scenario = load_scenario(
+            scenario_with(
+                populations=[
+                    {
+                        "profile": {
+                            "name": "custom",
+                            "subnet": "50.0.0.0/8",
+                            "intensity_alpha": 2.0,
+                            "intensity_beta": 5.0,
+                        },
+                        "count": 2,
+                    }
+                ]
+            )
+        )
+        assert scenario.populations[0][0].name == "custom"
+
+    def test_model_kinds(self):
+        for kind in ("constant", "dabr", "knn", "logistic"):
+            spec = {"kind": kind}
+            if kind != "constant":
+                spec["corpus_size"] = 400
+            scenario = load_scenario(scenario_with(model=spec))
+            assert scenario.framework.model is not None
+        with pytest.raises(ConfigError, match="unknown model"):
+            load_scenario(scenario_with(model={"kind": "oracle"}))
+
+    def test_attacker_kinds(self):
+        for kind in ("flood", "botnet", "adaptive"):
+            scenario = load_scenario(
+                scenario_with(attackers={"malicious": {"kind": kind}})
+            )
+            assert "malicious" in scenario.solve_deciders
+        with pytest.raises(ConfigError, match="unknown attacker"):
+            load_scenario(
+                scenario_with(attackers={"malicious": {"kind": "ghost"}})
+            )
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigError, match="duration"):
+            load_scenario(scenario_with(duration=0.0))
+
+
+class TestRunScenario:
+    def test_produces_per_class_rows(self):
+        result = run_scenario(load_scenario(BASE_SCENARIO))
+        classes = [row[0] for row in result.rows]
+        assert classes == ["benign", "malicious"]
+        assert result.extra["requests"] > 0
+
+    def test_deterministic(self):
+        a = run_scenario(load_scenario(BASE_SCENARIO))
+        b = run_scenario(load_scenario(BASE_SCENARIO))
+        assert a.rows == b.rows
+
+    def test_json_entry_point(self):
+        result = run_scenario_json(json.dumps(BASE_SCENARIO))
+        assert result.experiment_id == "scenario:unit-test"
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            run_scenario_json("{oops")
+
+    def test_cli_runs_scenario_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(BASE_SCENARIO), encoding="utf-8")
+        code = main(["scenario", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unit-test" in out
+        assert "malicious" in out

@@ -1,0 +1,62 @@
+"""Acceptance test for the throttling experiment (abstract's claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.throttling import ThrottlingConfig, run_throttling
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A smaller configuration than the CLI default keeps the suite fast
+    # while preserving the qualitative outcome.
+    return run_throttling(
+        ThrottlingConfig(
+            benign_clients=10,
+            attacker_bots=8,
+            duration=15.0,
+            corpus_size=2000,
+        )
+    )
+
+
+def test_all_three_setups_reported(result):
+    setups = {row[0] for row in result.rows}
+    assert setups == {"no-defense", "uniform-pow", "ai-pow"}
+
+
+def test_ai_pow_throttles_malicious_latency(result):
+    extra = result.extra
+    rows = {(row[0], row[1]): row for row in result.rows}
+    ai_malicious_ms = rows[("ai-pow", "malicious")][5]
+    nodef_malicious_ms = rows[("no-defense", "malicious")][5]
+    # Attack traffic pays at least an order of magnitude more latency.
+    assert ai_malicious_ms > 10 * nodef_malicious_ms
+    assert extra["ai-pow"]["malicious"]["total"] > 0
+
+
+def test_benign_traffic_stays_usable(result):
+    rows = {(row[0], row[1]): row for row in result.rows}
+    ai_benign_goodput = rows[("ai-pow", "benign")][3]
+    assert ai_benign_goodput > 0.95
+    ai_benign_ms = rows[("ai-pow", "benign")][5]
+    assert ai_benign_ms < 500.0
+
+
+def test_ai_pow_discriminates_better_than_uniform(result):
+    rows = {(row[0], row[1]): row for row in result.rows}
+
+    def penalty_ratio(setup: str) -> float:
+        return rows[(setup, "malicious")][5] / rows[(setup, "benign")][5]
+
+    # The adaptive issuer's malicious/benign latency ratio should far
+    # exceed uniform PoW's (which taxes both classes alike).
+    assert penalty_ratio("ai-pow") > 3 * penalty_ratio("uniform-pow")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ThrottlingConfig(benign_clients=0)
+    with pytest.raises(ValueError):
+        ThrottlingConfig(duration=0.0)

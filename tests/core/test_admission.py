@@ -1,0 +1,109 @@
+"""Tests for admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import AdmissionControl, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0)
+        assert all(bucket.consume(0.0) for _ in range(3))
+        assert not bucket.consume(0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        assert bucket.consume(0.0)
+        assert bucket.consume(0.0)
+        assert not bucket.consume(0.0)
+        assert bucket.consume(1.0)  # 2 tokens/s refill
+
+    def test_capacity_caps_refill(self):
+        bucket = TokenBucket(rate=100.0, capacity=2.0)
+        bucket.consume(0.0)
+        # A long idle period cannot bank more than `capacity`.
+        assert bucket.consume(100.0)
+        assert bucket.consume(100.0)
+        assert not bucket.consume(100.0)
+
+    def test_time_moving_backwards_is_safe(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        assert bucket.consume(10.0)
+        assert not bucket.consume(5.0)  # no refill from the past
+
+    def test_fractional_amounts(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        assert bucket.consume(0.0, amount=0.5)
+        assert bucket.consume(0.0, amount=0.5)
+        assert not bucket.consume(0.0, amount=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            bucket.consume(0.0, amount=0.0)
+
+
+class TestAdmissionControl:
+    def test_within_rate_admitted(self):
+        control = AdmissionControl(per_ip_rate=10.0, per_ip_burst=5.0)
+        decisions = [
+            control.check("23.1.1.1", now=float(i)) for i in range(5)
+        ]
+        assert all(d.admitted for d in decisions)
+
+    def test_burst_above_limit_dropped(self):
+        control = AdmissionControl(per_ip_rate=1.0, per_ip_burst=3.0)
+        results = [control.check("110.1.1.1", now=0.0) for _ in range(6)]
+        admitted = [r for r in results if r.admitted]
+        dropped = [r for r in results if not r.admitted]
+        assert len(admitted) == 3
+        assert len(dropped) == 3
+        assert all("per-ip" in d.reason for d in dropped)
+        assert control.dropped_count == 3
+
+    def test_per_ip_isolation(self):
+        control = AdmissionControl(per_ip_rate=1.0, per_ip_burst=1.0)
+        assert control.check("110.1.1.1", 0.0).admitted
+        assert not control.check("110.1.1.1", 0.0).admitted
+        assert control.check("23.2.2.2", 0.0).admitted
+
+    def test_global_bucket_bounds_everyone(self):
+        control = AdmissionControl(
+            per_ip_rate=100.0,
+            per_ip_burst=100.0,
+            global_rate=1.0,
+            global_burst=2.0,
+        )
+        outcomes = [
+            control.check(f"23.0.0.{i}", now=0.0).admitted for i in range(5)
+        ]
+        assert outcomes.count(True) == 2
+        reason = control.check("23.0.9.9", now=0.0).reason
+        assert "global" in reason
+
+    def test_allowlist_bypasses_everything(self):
+        control = AdmissionControl(
+            per_ip_rate=0.001,
+            per_ip_burst=0.5,
+            allowlist={"10.0.0.1"},
+        )
+        for _ in range(20):
+            decision = control.check("10.0.0.1", now=0.0)
+            assert decision.admitted
+            assert decision.reason == "allowlisted"
+
+    def test_tracked_ips_bounded(self):
+        control = AdmissionControl(max_tracked_ips=5)
+        for i in range(20):
+            control.check(f"23.0.0.{i + 1}", now=float(i))
+        assert control.tracked_ips <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(max_tracked_ips=0)

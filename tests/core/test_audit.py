@@ -1,0 +1,115 @@
+"""Tests for the audit log."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.audit import AuditLog, AuditRecord, read_audit_log
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ClientRequest
+from repro.policies.linear import policy_1
+from repro.pow.solver import HashSolver
+from repro.reputation.ensemble import ConstantModel
+
+
+@pytest.fixture()
+def framework_with_audit():
+    framework = AIPoWFramework(ConstantModel(2.0), policy_1())
+    sink = io.StringIO()
+    audit = AuditLog(sink).attach(framework.events)
+    return framework, audit, sink
+
+
+def run_exchange(framework, ip="203.0.113.50"):
+    request = ClientRequest(
+        client_ip=ip, resource="/r", timestamp=100.0, features={}
+    )
+    challenge = framework.challenge(request, now=100.0)
+    solution = HashSolver().solve(challenge.puzzle, ip)
+    return framework.redeem(challenge, solution, now=100.2)
+
+
+class TestAuditLog:
+    def test_challenge_and_response_lines_written(self, framework_with_audit):
+        framework, audit, sink = framework_with_audit
+        run_exchange(framework)
+        lines = [l for l in sink.getvalue().splitlines() if l]
+        assert len(lines) == 2
+        assert audit.records_written == 2
+
+        challenge = AuditRecord.from_json(lines[0])
+        response = AuditRecord.from_json(lines[1])
+        assert challenge.kind == "challenge"
+        assert response.kind == "response"
+        assert challenge.difficulty == 3  # ceil(2) + 1
+        assert response.status == "served"
+        assert response.latency_ms == pytest.approx(200.0)
+
+    def test_records_identify_client_and_policy(self, framework_with_audit):
+        framework, _, sink = framework_with_audit
+        run_exchange(framework, ip="203.0.113.99")
+        record = AuditRecord.from_json(sink.getvalue().splitlines()[0])
+        assert record.client_ip == "203.0.113.99"
+        assert record.policy == "policy-1"
+        assert record.model == "constant(2)"
+        assert record.score == pytest.approx(2.0)
+
+    def test_json_round_trip(self):
+        record = AuditRecord(
+            kind="response",
+            timestamp=1.5,
+            client_ip="1.2.3.4",
+            resource="/x",
+            score=4.5,
+            difficulty=9,
+            policy="p",
+            model="m",
+            status="served",
+            latency_ms=12.5,
+        )
+        assert AuditRecord.from_json(record.to_json()) == record
+
+    def test_write_failure_isolated(self):
+        class Broken(io.TextIOBase):
+            def write(self, _):
+                raise OSError("disk full")
+
+        framework = AIPoWFramework(ConstantModel(0.0), policy_1())
+        audit = AuditLog(Broken()).attach(framework.events)
+        run_exchange(framework)  # must not raise
+        assert audit.write_failures >= 1
+        assert audit.records_written == 0
+
+    def test_file_round_trip(self, tmp_path):
+        framework = AIPoWFramework(ConstantModel(1.0), policy_1())
+        path = tmp_path / "audit.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            AuditLog(sink).attach(framework.events)
+            run_exchange(framework)
+            run_exchange(framework)
+        records = list(read_audit_log(path))
+        assert len(records) == 4
+        assert [r.kind for r in records] == [
+            "challenge", "response", "challenge", "response",
+        ]
+
+    def test_flush_every_validation(self):
+        with pytest.raises(ValueError):
+            AuditLog(io.StringIO(), flush_every=0)
+
+    def test_batched_flush(self):
+        flushes = []
+
+        class CountingSink(io.StringIO):
+            def flush(self):
+                flushes.append(1)
+                super().flush()
+
+        framework = AIPoWFramework(ConstantModel(0.0), policy_1())
+        AuditLog(CountingSink(), flush_every=4).attach(framework.events)
+        run_exchange(framework)  # 2 records -> no flush yet
+        assert len(flushes) == 0
+        run_exchange(framework)  # 4 records -> one flush
+        assert len(flushes) == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the pipeline record types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import (
+    ClientRequest,
+    IssuerDecision,
+    ResponseStatus,
+    ServedResponse,
+)
+
+
+def make_request(**overrides) -> ClientRequest:
+    defaults = dict(
+        client_ip="203.0.113.5",
+        resource="/index.html",
+        timestamp=1.5,
+        features={"f": 1.0},
+    )
+    defaults.update(overrides)
+    return ClientRequest(**defaults)
+
+
+def make_decision(**overrides) -> IssuerDecision:
+    defaults = dict(
+        request=make_request(),
+        reputation_score=7.0,
+        difficulty=9,
+        policy_name="policy-2",
+        model_name="dabr",
+    )
+    defaults.update(overrides)
+    return IssuerDecision(**defaults)
+
+
+class TestClientRequest:
+    def test_valid_request_constructs(self):
+        request = make_request()
+        assert request.client_ip == "203.0.113.5"
+        assert request.resource == "/index.html"
+
+    def test_empty_ip_rejected(self):
+        with pytest.raises(ValueError, match="client_ip"):
+            make_request(client_ip="")
+
+    def test_resource_must_be_absolute(self):
+        with pytest.raises(ValueError, match="resource"):
+            make_request(resource="index.html")
+
+    def test_request_is_frozen(self):
+        request = make_request()
+        with pytest.raises(AttributeError):
+            request.client_ip = "8.8.8.8"  # type: ignore[misc]
+
+    def test_features_preserved(self):
+        request = make_request(features={"a": 1.0, "b": 2.0})
+        assert request.features == {"a": 1.0, "b": 2.0}
+
+
+class TestIssuerDecision:
+    def test_valid_decision(self):
+        decision = make_decision()
+        assert decision.difficulty == 9
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError, match="difficulty"):
+            make_decision(difficulty=-1)
+
+    def test_zero_difficulty_allowed(self):
+        assert make_decision(difficulty=0).difficulty == 0
+
+
+class TestServedResponse:
+    def test_served_flag(self):
+        response = ServedResponse(
+            decision=make_decision(),
+            status=ResponseStatus.SERVED,
+            latency=0.05,
+        )
+        assert response.served
+
+    @pytest.mark.parametrize(
+        "status",
+        [
+            ResponseStatus.REJECTED,
+            ResponseStatus.EXPIRED,
+            ResponseStatus.REPLAYED,
+            ResponseStatus.ABANDONED,
+        ],
+    )
+    def test_non_served_statuses(self, status):
+        response = ServedResponse(
+            decision=make_decision(), status=status, latency=0.1
+        )
+        assert not response.served
+
+    def test_latency_ms_conversion(self):
+        response = ServedResponse(
+            decision=make_decision(),
+            status=ResponseStatus.SERVED,
+            latency=0.25,
+        )
+        assert response.latency_ms == pytest.approx(250.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            ServedResponse(
+                decision=make_decision(),
+                status=ResponseStatus.SERVED,
+                latency=-0.1,
+            )
+
+    def test_negative_attempts_rejected(self):
+        with pytest.raises(ValueError, match="solve_attempts"):
+            ServedResponse(
+                decision=make_decision(),
+                status=ResponseStatus.SERVED,
+                latency=0.1,
+                solve_attempts=-1,
+            )

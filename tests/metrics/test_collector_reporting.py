@@ -1,0 +1,147 @@
+"""Tests for the metrics collector and ASCII reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventBus, EventKind
+from repro.core.records import (
+    ClientRequest,
+    IssuerDecision,
+    ResponseStatus,
+    ServedResponse,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.reporting import ascii_chart, render_series, render_table
+
+
+def make_response(
+    ip: str = "23.0.0.1",
+    status: ResponseStatus = ResponseStatus.SERVED,
+    latency: float = 0.05,
+    difficulty: int = 5,
+    score: float = 3.0,
+) -> ServedResponse:
+    request = ClientRequest(
+        client_ip=ip, resource="/r", timestamp=0.0, features={}
+    )
+    decision = IssuerDecision(
+        request=request,
+        reputation_score=score,
+        difficulty=difficulty,
+        policy_name="p",
+        model_name="m",
+    )
+    return ServedResponse(decision=decision, status=status, latency=latency)
+
+
+class TestMetricsCollector:
+    def test_overall_accumulates(self):
+        collector = MetricsCollector()
+        collector.observe(make_response(latency=0.1))
+        collector.observe(
+            make_response(status=ResponseStatus.REJECTED, latency=0.2)
+        )
+        overall = collector.overall
+        assert overall.total == 2
+        assert overall.served == 1
+        assert overall.goodput_fraction == 0.5
+        assert len(overall.latencies) == 2
+        assert len(overall.served_latencies) == 1
+
+    def test_classifier_breakdown(self):
+        collector = MetricsCollector(
+            classifier=lambda r: (
+                "attack"
+                if r.decision.request.client_ip.startswith("110.")
+                else "benign"
+            )
+        )
+        collector.observe(make_response(ip="23.0.0.1"))
+        collector.observe(make_response(ip="110.0.0.1"))
+        collector.observe(make_response(ip="110.0.0.2"))
+        assert collector.class_names() == ("attack", "benign")
+        assert collector.for_class("attack").total == 2
+        assert collector.for_class("benign").total == 1
+        assert collector.overall.total == 3
+
+    def test_event_bus_attachment(self):
+        bus = EventBus()
+        collector = MetricsCollector().attach(bus)
+        bus.emit(EventKind.RESPONSE_SERVED, 1.0, response=make_response())
+        bus.emit(EventKind.SCORED, 1.0, score=5.0)  # ignored kind
+        bus.emit(EventKind.RESPONSE_SERVED, 2.0, response="not-a-response")
+        assert collector.overall.total == 1
+
+    def test_score_and_difficulty_stats(self):
+        collector = MetricsCollector()
+        collector.observe(make_response(difficulty=5, score=2.0))
+        collector.observe(make_response(difficulty=15, score=8.0))
+        assert collector.overall.difficulties.mean == pytest.approx(10.0)
+        assert collector.overall.scores.mean == pytest.approx(5.0)
+
+    def test_outcome_counters_cover_all_statuses(self):
+        collector = MetricsCollector()
+        for status in ResponseStatus:
+            collector.observe(make_response(status=status))
+        outcomes = collector.overall.outcomes
+        assert all(outcomes[status] == 1 for status in ResponseStatus)
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 22.25]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "22.25" in lines[2] or "22.25" in lines[-1]
+
+    def test_title_included(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_series_as_columns(self):
+        text = render_series(
+            "x", [0, 1], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}
+        )
+        assert "s1" in text and "s2" in text
+        assert "4.00" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [0, 1], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [0], {})
+
+
+class TestAsciiChart:
+    def test_bars_scale_with_values(self):
+        text = ascii_chart([0, 1], {"a": [1.0, 10.0]}, width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines[1].split("|")[1]) > len(lines[0].split("|")[1])
+
+    def test_multiple_series_get_markers(self):
+        text = ascii_chart([0], {"a": [1.0], "b": [2.0]})
+        assert "[#]" in text and "[*]" in text
+
+    def test_all_zero_series_safe(self):
+        text = ascii_chart([0, 1], {"a": [0.0, 0.0]})
+        assert "0.0" in text

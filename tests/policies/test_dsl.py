@@ -1,0 +1,165 @@
+"""Tests for the declarative policy DSL."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import PolicySpecError
+from repro.policies.dsl import (
+    build_policy,
+    dump_policy_json,
+    load_policy_json,
+    policy_to_spec,
+)
+from repro.policies.error_range import ErrorRangePolicy
+from repro.policies.linear import LinearPolicy, policy_2
+
+
+class TestBuildPolicy:
+    def test_linear(self):
+        policy = build_policy({"kind": "linear", "base": 5})
+        assert isinstance(policy, LinearPolicy)
+        assert policy.base == 5
+
+    def test_error_range(self):
+        policy = build_policy({"kind": "error-range", "epsilon": 1.5})
+        assert isinstance(policy, ErrorRangePolicy)
+        assert policy.epsilon == 1.5
+
+    def test_nested_combinators(self):
+        spec = {
+            "kind": "clamp",
+            "low": 2,
+            "high": 12,
+            "inner": {
+                "kind": "max",
+                "members": [
+                    {"kind": "linear", "base": 1},
+                    {"kind": "stepwise", "thresholds": [5.0],
+                     "difficulties": [0, 9]},
+                ],
+            },
+        }
+        policy = build_policy(spec)
+        rng = random.Random(0)
+        assert policy.difficulty_for(0.0, rng) == 2  # clamped up
+        assert policy.difficulty_for(10.0, rng) == 11
+
+    def test_adaptive_spec(self):
+        policy = build_policy(
+            {
+                "kind": "adaptive",
+                "inner": {"kind": "linear"},
+                "max_surcharge": 3,
+                "initial_load": 1.0,
+            }
+        )
+        rng = random.Random(0)
+        assert policy.difficulty_for(0.0, rng) == 4  # 1 + 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicySpecError, match="unknown policy kind"):
+            build_policy({"kind": "quantum"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(PolicySpecError, match="kind"):
+            build_policy({"base": 5})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(PolicySpecError):
+            build_policy(["linear"])  # type: ignore[arg-type]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(PolicySpecError, match="unknown keys"):
+            build_policy({"kind": "linear", "bogus": 1})
+
+    def test_bad_parameter_wrapped(self):
+        with pytest.raises(PolicySpecError, match="invalid"):
+            build_policy({"kind": "linear", "base": -3})
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(PolicySpecError, match="members"):
+            build_policy({"kind": "max", "members": []})
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(PolicySpecError):
+            build_policy({"kind": "offset", "inner": {"kind": "linear"}})
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"kind": "linear", "base": 2},
+            {"kind": "error-range", "epsilon": 3.0},
+            {"kind": "stepwise", "thresholds": [4.0], "difficulties": [1, 6]},
+            {"kind": "exponential", "growth": 1.4},
+            {"kind": "table", "entries": [0, 1, 2]},
+        ],
+    )
+    def test_spec_build_spec_round_trip(self, spec):
+        policy = build_policy(spec)
+        rebuilt = build_policy(policy_to_spec(policy))
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        domain_high = (
+            len(spec["entries"]) - 1 if spec["kind"] == "table" else 10
+        )
+        for score in range(domain_high + 1):
+            assert policy.difficulty_for(
+                float(score), rng_a
+            ) == rebuilt.difficulty_for(float(score), rng_b)
+
+    def test_json_round_trip(self):
+        policy = policy_2()
+        text = dump_policy_json(policy)
+        rebuilt = load_policy_json(text)
+        rng_a, rng_b = random.Random(2), random.Random(2)
+        for score in range(11):
+            assert policy.difficulty_for(
+                float(score), rng_a
+            ) == rebuilt.difficulty_for(float(score), rng_b)
+
+    def test_nested_round_trip(self):
+        spec = {
+            "kind": "min",
+            "members": [
+                {"kind": "clamp", "low": 0, "high": 9,
+                 "inner": {"kind": "linear", "base": 5}},
+                {"kind": "offset", "offset": 2,
+                 "inner": {"kind": "error-range", "epsilon": 1.0}},
+            ],
+        }
+        policy = build_policy(spec)
+        round_tripped = build_policy(policy_to_spec(policy))
+        assert policy_to_spec(policy) == policy_to_spec(round_tripped)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PolicySpecError, match="JSON"):
+            load_policy_json("{not json")
+
+    def test_unserialisable_policy_rejected(self):
+        class Mystery:
+            name = "mystery"
+
+            def difficulty_for(self, score, rng):
+                return 1
+
+        with pytest.raises(PolicySpecError, match="serialise"):
+            policy_to_spec(Mystery())
+
+
+@given(
+    base=st.integers(0, 10),
+    slope=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+)
+def test_linear_spec_round_trip_property(base, slope):
+    spec = {"kind": "linear", "base": base, "slope": slope}
+    policy = build_policy(spec)
+    rebuilt = build_policy(policy_to_spec(policy))
+    assert rebuilt.base == policy.base
+    assert rebuilt.slope == pytest.approx(policy.slope)

@@ -1,0 +1,138 @@
+"""Recursive property tests for the policy DSL.
+
+Hypothesis generates arbitrarily nested policy specs; every generated
+spec must build, produce valid difficulties over the whole score
+domain, and survive a spec → policy → spec → policy round trip with
+identical behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.dsl import build_policy, policy_to_spec
+
+# ---------------------------------------------------------------------------
+# Spec generators
+# ---------------------------------------------------------------------------
+
+linear_specs = st.fixed_dictionaries(
+    {
+        "kind": st.just("linear"),
+        "base": st.integers(0, 12),
+        "slope": st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    }
+)
+
+error_range_specs = st.fixed_dictionaries(
+    {
+        "kind": st.just("error-range"),
+        "epsilon": st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        "base": st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    }
+)
+
+exponential_specs = st.fixed_dictionaries(
+    {
+        "kind": st.just("exponential"),
+        "base": st.integers(0, 6),
+        "growth": st.floats(min_value=1.05, max_value=1.6, allow_nan=False),
+        "scale": st.floats(min_value=0.2, max_value=2.0, allow_nan=False),
+    }
+)
+
+
+@st.composite
+def stepwise_specs(draw):
+    thresholds = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=9.5, allow_nan=False),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+    )
+    difficulties = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 20),
+                min_size=len(thresholds) + 1,
+                max_size=len(thresholds) + 1,
+            )
+        )
+    )
+    return {
+        "kind": "stepwise",
+        "thresholds": thresholds,
+        "difficulties": difficulties,
+    }
+
+
+leaf_specs = st.one_of(
+    linear_specs, error_range_specs, exponential_specs, stepwise_specs()
+)
+
+
+def composite_specs(children):
+    return st.one_of(
+        st.fixed_dictionaries(
+            {
+                "kind": st.sampled_from(["max", "min"]),
+                "members": st.lists(children, min_size=1, max_size=3),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "kind": st.just("clamp"),
+                "inner": children,
+                "low": st.integers(0, 4),
+                "high": st.integers(5, 30),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "kind": st.just("offset"),
+                "inner": children,
+                "offset": st.integers(-3, 6),
+            }
+        ),
+    )
+
+
+policy_specs = st.recursive(leaf_specs, composite_specs, max_leaves=6)
+
+scores = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=policy_specs, score=scores)
+def test_generated_specs_build_and_score(spec, score):
+    policy = build_policy(spec)
+    difficulty = policy.difficulty_for(score, random.Random(7))
+    assert isinstance(difficulty, int)
+    assert difficulty >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=policy_specs, score=scores, seed=st.integers(0, 2**16))
+def test_round_trip_preserves_behaviour(spec, score, seed):
+    original = build_policy(spec)
+    rebuilt = build_policy(policy_to_spec(original))
+    rng_a, rng_b = random.Random(seed), random.Random(seed)
+    assert original.difficulty_for(score, rng_a) == rebuilt.difficulty_for(
+        score, rng_b
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=policy_specs)
+def test_spec_serialisation_is_stable(spec):
+    """spec -> policy -> spec -> policy -> spec reaches a fixed point."""
+    once = policy_to_spec(build_policy(spec))
+    twice = policy_to_spec(build_policy(once))
+    assert once == twice

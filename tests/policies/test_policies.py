@@ -1,0 +1,259 @@
+"""Unit and property tests for the policy engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import PolicyDomainError
+from repro.policies.adaptive import LoadAdaptivePolicy
+from repro.policies.composite import (
+    ClampPolicy,
+    MaxOfPolicy,
+    MinOfPolicy,
+    OffsetPolicy,
+)
+from repro.policies.error_range import ErrorRangePolicy, policy_3
+from repro.policies.exponential import ExponentialPolicy
+from repro.policies.linear import LinearPolicy, policy_1, policy_2
+from repro.policies.stepwise import StepwisePolicy
+from repro.policies.table import FixedPolicy, TablePolicy
+
+scores = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0x70CA)
+
+
+class TestPaperPolicies:
+    """The exact mappings the paper's §III specifies."""
+
+    def test_policy_1_mapping(self, rng):
+        policy = policy_1()
+        for score in range(11):
+            assert policy.difficulty_for(float(score), rng) == score + 1
+
+    def test_policy_2_mapping(self, rng):
+        policy = policy_2()
+        for score in range(11):
+            assert policy.difficulty_for(float(score), rng) == score + 5
+
+    def test_policy_3_within_interval(self, rng):
+        policy = policy_3(epsilon=2.0)
+        for score in range(11):
+            low, high = policy.interval(float(score))
+            for _ in range(20):
+                d = policy.difficulty_for(float(score), rng)
+                assert low <= d <= high
+
+    def test_policy_3_interval_matches_paper_formula(self):
+        import math
+
+        policy = policy_3(epsilon=2.0)
+        for score in range(11):
+            d_i = math.ceil(score + 1)
+            low, high = policy.interval(float(score))
+            assert low == max(0, math.ceil(d_i - 2.0))
+            assert high == math.ceil(d_i + 2.0)
+
+    def test_policy_3_fractional_epsilon_is_asymmetric(self):
+        policy = ErrorRangePolicy(epsilon=2.5)
+        low, high = policy.interval(5.0)
+        # d = 6; ceil(6 - 2.5) = 4, ceil(6 + 2.5) = 9.
+        assert (low, high) == (4, 9)
+
+    def test_policy_3_epsilon_zero_degenerates_to_policy_1(self, rng):
+        policy = ErrorRangePolicy(epsilon=0.0)
+        for score in range(11):
+            assert policy.difficulty_for(float(score), rng) == score + 1
+
+    def test_names(self):
+        assert policy_1().name == "policy-1"
+        assert policy_2().name == "policy-2"
+        assert policy_3().name == "policy-3"
+
+
+class TestLinearPolicy:
+    def test_slope(self, rng):
+        policy = LinearPolicy(base=0, slope=2.0)
+        assert policy.difficulty_for(3.0, rng) == 6
+
+    def test_ceil_rounds_against_client(self, rng):
+        policy = LinearPolicy(base=1)
+        assert policy.difficulty_for(2.1, rng) == 4  # ceil(2.1) + 1
+
+    def test_domain_enforced(self, rng):
+        policy = LinearPolicy()
+        with pytest.raises(PolicyDomainError):
+            policy.difficulty_for(10.5, rng)
+        with pytest.raises(PolicyDomainError):
+            policy.difficulty_for(-0.1, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearPolicy(base=-1)
+        with pytest.raises(ValueError):
+            LinearPolicy(slope=0.0)
+
+    @given(scores, scores)
+    def test_monotonicity_property(self, a, b):
+        rng = random.Random(0)
+        policy = LinearPolicy(base=3)
+        low, high = sorted((a, b))
+        assert policy.difficulty_for(low, rng) <= policy.difficulty_for(
+            high, rng
+        )
+
+
+class TestStepwisePolicy:
+    def test_band_assignment(self, rng):
+        policy = StepwisePolicy(thresholds=[3.0, 7.0], difficulties=[1, 5, 12])
+        assert policy.difficulty_for(0.0, rng) == 1
+        assert policy.difficulty_for(2.99, rng) == 1
+        assert policy.difficulty_for(3.0, rng) == 5
+        assert policy.difficulty_for(6.99, rng) == 5
+        assert policy.difficulty_for(7.0, rng) == 12
+        assert policy.difficulty_for(10.0, rng) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="difficulties"):
+            StepwisePolicy(thresholds=[5.0], difficulties=[1])
+        with pytest.raises(ValueError, match="increasing"):
+            StepwisePolicy(thresholds=[5.0, 5.0], difficulties=[1, 2, 3])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            StepwisePolicy(thresholds=[5.0], difficulties=[5, 1])
+        with pytest.raises(ValueError, match="inside"):
+            StepwisePolicy(thresholds=[11.0], difficulties=[1, 2])
+
+
+class TestExponentialPolicy:
+    def test_convexity(self, rng):
+        policy = ExponentialPolicy(base=1, growth=1.5)
+        diffs = [policy.difficulty_for(float(s), rng) for s in range(11)]
+        deltas = [b - a for a, b in zip(diffs, diffs[1:])]
+        assert deltas[-1] > deltas[0]
+
+    def test_base_at_zero(self, rng):
+        policy = ExponentialPolicy(base=4, growth=1.5)
+        assert policy.difficulty_for(0.0, rng) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialPolicy(growth=1.0)
+        with pytest.raises(ValueError):
+            ExponentialPolicy(scale=0.0)
+
+
+class TestTableAndFixed:
+    def test_table_lookup(self, rng):
+        policy = TablePolicy(entries=[0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55])
+        assert policy.difficulty_for(0.0, rng) == 0
+        assert policy.difficulty_for(10.0, rng) == 55
+        assert policy.difficulty_for(4.5, rng) == 5  # ceil(4.5) = 5
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            TablePolicy(entries=[1])
+        with pytest.raises(ValueError):
+            TablePolicy(entries=[3, 1])
+
+    def test_fixed_ignores_score(self, rng):
+        policy = FixedPolicy(7)
+        assert all(
+            policy.difficulty_for(float(s), rng) == 7 for s in range(11)
+        )
+
+    def test_fixed_zero_means_no_puzzle(self, rng):
+        assert FixedPolicy(0).difficulty_for(10.0, rng) == 0
+
+
+class TestCombinators:
+    def test_max_of(self, rng):
+        policy = MaxOfPolicy([FixedPolicy(3), FixedPolicy(9)])
+        assert policy.difficulty_for(5.0, rng) == 9
+
+    def test_min_of(self, rng):
+        policy = MinOfPolicy([FixedPolicy(3), FixedPolicy(9)])
+        assert policy.difficulty_for(5.0, rng) == 3
+
+    def test_clamp(self, rng):
+        policy = ClampPolicy(policy_2(), low=6, high=12)
+        assert policy.difficulty_for(0.0, rng) == 6
+        assert policy.difficulty_for(10.0, rng) == 12
+        assert policy.difficulty_for(3.0, rng) == 8
+
+    def test_offset_floors_at_zero(self, rng):
+        policy = OffsetPolicy(FixedPolicy(2), offset=-5)
+        assert policy.difficulty_for(5.0, rng) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxOfPolicy([])
+        with pytest.raises(ValueError):
+            ClampPolicy(FixedPolicy(1), low=5, high=4)
+
+    @given(scores)
+    def test_max_dominates_members_property(self, score):
+        rng = random.Random(1)
+        members = [policy_1(), policy_2()]
+        combined = MaxOfPolicy(members)
+        combined_d = combined.difficulty_for(score, rng)
+        rng2 = random.Random(1)
+        member_ds = [m.difficulty_for(score, rng2) for m in members]
+        assert combined_d >= min(member_ds)
+
+
+class TestLoadAdaptive:
+    def test_no_load_no_surcharge(self, rng):
+        policy = LoadAdaptivePolicy(FixedPolicy(4), max_surcharge=6)
+        assert policy.difficulty_for(5.0, rng) == 4
+
+    def test_full_load_full_surcharge(self, rng):
+        policy = LoadAdaptivePolicy(
+            FixedPolicy(4), max_surcharge=6, initial_load=1.0
+        )
+        assert policy.difficulty_for(5.0, rng) == 10
+
+    def test_smoothing(self):
+        policy = LoadAdaptivePolicy(
+            FixedPolicy(0), max_surcharge=10, smoothing=0.5
+        )
+        policy.observe_load(1.0)
+        assert policy.load == pytest.approx(0.5)
+        policy.observe_load(1.0)
+        assert policy.load == pytest.approx(0.75)
+
+    def test_load_clamped(self):
+        policy = LoadAdaptivePolicy(FixedPolicy(0), smoothing=1.0)
+        policy.observe_load(5.0)
+        assert policy.load == 1.0
+        policy.observe_load(-3.0)
+        assert policy.load == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadAdaptivePolicy(FixedPolicy(0), max_surcharge=-1)
+        with pytest.raises(ValueError):
+            LoadAdaptivePolicy(FixedPolicy(0), smoothing=0.0)
+
+
+@given(scores)
+def test_all_builtin_policies_nonnegative_property(score):
+    """Property: every built-in policy returns difficulty >= 0 on [0, 10]."""
+    rng = random.Random(7)
+    policies = [
+        policy_1(),
+        policy_2(),
+        policy_3(),
+        StepwisePolicy([5.0], [1, 8]),
+        ExponentialPolicy(),
+        FixedPolicy(3),
+        ClampPolicy(policy_2(), 0, 20),
+    ]
+    for policy in policies:
+        assert policy.difficulty_for(score, rng) >= 0

@@ -1,0 +1,93 @@
+"""Tests for the rate-retargeting (score-blind adaptive) policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.policies.retarget import RetargetingPolicy
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1)
+
+
+class TestRetargeting:
+    def test_score_blind(self, rng):
+        policy = RetargetingPolicy(initial_difficulty=7)
+        assert all(
+            policy.difficulty_for(float(s), rng) == 7 for s in range(11)
+        )
+
+    def test_overload_raises_difficulty(self, rng):
+        policy = RetargetingPolicy(
+            target_rate=10.0, initial_difficulty=5, window=1.0
+        )
+        # 100 served in 1 second >> target 10/s.
+        for i in range(101):
+            policy.observe_served(now=i * 0.0101)
+        assert policy.current_difficulty > 5.0
+
+    def test_underload_lowers_difficulty(self, rng):
+        policy = RetargetingPolicy(
+            target_rate=100.0, initial_difficulty=10, window=1.0
+        )
+        # ~2 served per second << target.
+        for i in range(8):
+            policy.observe_served(now=i * 0.5)
+        assert policy.current_difficulty < 10.0
+
+    def test_max_step_damps_adjustment(self, rng):
+        policy = RetargetingPolicy(
+            target_rate=1.0, initial_difficulty=5, window=1.0, max_step=1.0
+        )
+        # Enormous overload, but only one window elapsed: delta <= 1.
+        for i in range(1001):
+            policy.observe_served(now=i * 0.001001)
+        assert policy.current_difficulty <= 6.0 + 1e-9
+
+    def test_clamped_to_bounds(self, rng):
+        policy = RetargetingPolicy(
+            target_rate=1e6,
+            initial_difficulty=1,
+            min_difficulty=1,
+            max_difficulty=3,
+            window=0.5,
+            max_step=10.0,
+        )
+        for i in range(50):
+            policy.observe_served(now=i * 0.1)
+        assert 1.0 <= policy.current_difficulty <= 3.0
+
+    def test_convergence_toward_equilibrium(self, rng):
+        """Served-rate proportional to 2**-d converges near the target."""
+        policy = RetargetingPolicy(
+            target_rate=25.0, initial_difficulty=0, window=1.0, max_step=2.0
+        )
+        capacity = 400.0  # served/s at difficulty 0
+        now = 0.0
+        rate = capacity
+        for _ in range(40):  # simulate 40 windows of feedback
+            rate = capacity * 2.0 ** (-policy.current_difficulty)
+            count = max(1, int(rate))
+            for i in range(count + 1):
+                policy.observe_served(now=now + i / max(rate, 1.0))
+            now += max(1.0, (count + 1) / max(rate, 1.0))
+        final_rate = capacity * 2.0 ** (-policy.current_difficulty)
+        assert final_rate == pytest.approx(25.0, rel=0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetargetingPolicy(target_rate=0.0)
+        with pytest.raises(ValueError):
+            RetargetingPolicy(initial_difficulty=50, max_difficulty=32)
+        with pytest.raises(ValueError):
+            RetargetingPolicy(window=0.0)
+        with pytest.raises(ValueError):
+            RetargetingPolicy(max_step=0.0)
+
+    def test_describe_mentions_state(self):
+        policy = RetargetingPolicy()
+        assert "retargets" in policy.describe()

@@ -1,0 +1,122 @@
+"""Unit and property tests for difficulty semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pow.difficulty import (
+    attempts_quantile,
+    count_leading_zero_bits,
+    expected_attempts,
+    median_attempts,
+    meets_difficulty,
+    success_probability,
+)
+
+
+class TestCountLeadingZeroBits:
+    @pytest.mark.parametrize(
+        "digest, expected",
+        [
+            (b"\x80", 0),
+            (b"\x40", 1),
+            (b"\x20", 2),
+            (b"\x01", 7),
+            (b"\x00\x80", 8),
+            (b"\x00\x01", 15),
+            (b"\x00\x00", 16),
+            (b"\xff\x00", 0),
+        ],
+    )
+    def test_known_values(self, digest, expected):
+        assert count_leading_zero_bits(digest) == expected
+
+    def test_all_zero_digest(self):
+        assert count_leading_zero_bits(b"\x00" * 4) == 32
+
+    def test_empty_digest(self):
+        assert count_leading_zero_bits(b"") == 0
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_matches_int_interpretation(self, digest):
+        bits = count_leading_zero_bits(digest)
+        value = int.from_bytes(digest, "big")
+        total_bits = 8 * len(digest)
+        if value == 0:
+            assert bits == total_bits
+        else:
+            assert bits == total_bits - value.bit_length()
+
+
+class TestMeetsDifficulty:
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 520))
+    def test_consistent_with_count(self, digest, difficulty):
+        expected = count_leading_zero_bits(digest) >= difficulty
+        if difficulty > 8 * len(digest):
+            expected = False
+        assert meets_difficulty(digest, difficulty) == expected
+
+    def test_difficulty_zero_accepts_everything(self):
+        assert meets_difficulty(b"\xff" * 32, 0)
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            meets_difficulty(b"\x00", -1)
+
+    def test_exact_boundary(self):
+        # 0x07 has 5 leading zero bits in one byte.
+        assert meets_difficulty(b"\x07", 5)
+        assert not meets_difficulty(b"\x07", 6)
+
+
+class TestStatistics:
+    def test_expected_attempts_doubles_per_bit(self):
+        for d in range(0, 20):
+            assert expected_attempts(d + 1) == 2 * expected_attempts(d)
+
+    def test_median_is_ln2_of_mean_for_large_d(self):
+        ratio = median_attempts(16) / expected_attempts(16)
+        assert ratio == pytest.approx(math.log(2), rel=1e-3)
+
+    def test_median_attempts_d0(self):
+        assert median_attempts(0) == 1.0
+
+    def test_quantile_monotone_in_q(self):
+        qs = [0.1, 0.5, 0.9, 0.99]
+        values = [attempts_quantile(10, q) for q in qs]
+        assert values == sorted(values)
+
+    def test_median_matches_quantile_half(self):
+        assert median_attempts(12) == pytest.approx(
+            attempts_quantile(12, 0.5), rel=1e-9
+        )
+
+    def test_quantile_domain_validation(self):
+        with pytest.raises(ValueError):
+            attempts_quantile(4, 0.0)
+        with pytest.raises(ValueError):
+            attempts_quantile(4, 1.0)
+
+    def test_success_probability_limits(self):
+        assert success_probability(0, 1) == 1.0
+        assert success_probability(0, 0) == 0.0
+        assert success_probability(8, 0) == 0.0
+
+    def test_success_probability_nonce_space_32bit(self):
+        # With a 32-bit nonce, difficulty 20 is essentially always
+        # solvable; difficulty 40 usually is not.
+        assert success_probability(20, 2**32) > 0.999999
+        assert success_probability(40, 2**32) < 0.02
+
+    @given(st.integers(0, 30), st.integers(0, 10_000))
+    def test_success_probability_in_unit_interval(self, d, attempts):
+        p = success_probability(d, attempts)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(1, 25))
+    def test_more_attempts_never_hurt(self, d):
+        assert success_probability(d, 100) <= success_probability(d, 200)

@@ -1,0 +1,130 @@
+"""Unit and property tests for puzzle/solution wire types."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.pow.puzzle import Puzzle, Solution, nonce_bytes
+
+
+def make_puzzle(**overrides) -> Puzzle:
+    defaults = dict(
+        seed="ab" * 16,
+        timestamp=12.5,
+        difficulty=8,
+        algorithm="sha256",
+        tag="00" * 16,
+    )
+    defaults.update(overrides)
+    return Puzzle(**defaults)
+
+
+class TestPuzzle:
+    def test_wire_round_trip(self):
+        puzzle = make_puzzle()
+        assert Puzzle.from_wire(puzzle.to_wire()) == puzzle
+
+    def test_prefix_binds_client_ip(self):
+        puzzle = make_puzzle()
+        assert puzzle.prefix("1.2.3.4") != puzzle.prefix("1.2.3.5")
+
+    def test_prefix_is_deterministic(self):
+        puzzle = make_puzzle()
+        assert puzzle.prefix("1.2.3.4") == puzzle.prefix("1.2.3.4")
+
+    def test_prefix_changes_with_difficulty(self):
+        a = make_puzzle(difficulty=8)
+        b = make_puzzle(difficulty=9)
+        assert a.prefix("1.2.3.4") != b.prefix("1.2.3.4")
+
+    def test_age(self):
+        puzzle = make_puzzle(timestamp=10.0)
+        assert puzzle.age(25.0) == pytest.approx(15.0)
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            make_puzzle(difficulty=-1)
+
+    def test_non_hex_seed_rejected(self):
+        with pytest.raises(ValueError):
+            make_puzzle(seed="not-hex!")
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            make_puzzle(seed="")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "PUZZLE",
+            "PUZZLE 1 abcd",
+            "NOTPUZZLE 1 ab 1.0 8 sha256 00",
+            "PUZZLE x ab 1.0 8 sha256 00",
+            "PUZZLE 1 ab notafloat 8 sha256 00",
+            "PUZZLE 1 ab 1.0 eight sha256 00",
+        ],
+    )
+    def test_malformed_frames_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            Puzzle.from_wire(line)
+
+    @given(
+        seed=st.binary(min_size=1, max_size=32).map(bytes.hex),
+        timestamp=st.floats(
+            min_value=0, max_value=1e10, allow_nan=False, allow_infinity=False
+        ),
+        difficulty=st.integers(0, 255),
+    )
+    def test_wire_round_trip_property(self, seed, timestamp, difficulty):
+        puzzle = Puzzle(
+            seed=seed, timestamp=timestamp, difficulty=difficulty, tag="aa"
+        )
+        assert Puzzle.from_wire(puzzle.to_wire()) == puzzle
+
+
+class TestSolution:
+    def test_wire_round_trip(self):
+        solution = Solution(puzzle_seed="ab" * 16, nonce=12345, attempts=99)
+        rebuilt = Solution.from_wire(solution.to_wire())
+        assert rebuilt.puzzle_seed == solution.puzzle_seed
+        assert rebuilt.nonce == solution.nonce
+        assert rebuilt.attempts == solution.attempts
+
+    def test_negative_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            Solution(puzzle_seed="ab", nonce=-1)
+
+    @pytest.mark.parametrize(
+        "line", ["", "SOLUTION", "SOLUTION ab x 1", "WRONG ab 1 1"]
+    )
+    def test_malformed_frames_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            Solution.from_wire(line)
+
+    @given(nonce=st.integers(0, 2**32 - 1), attempts=st.integers(0, 2**32))
+    def test_wire_round_trip_property(self, nonce, attempts):
+        solution = Solution(puzzle_seed="cd", nonce=nonce, attempts=attempts)
+        assert Solution.from_wire(solution.to_wire()) == solution
+
+
+class TestNonceBytes:
+    def test_fixed_width_32bit(self):
+        assert nonce_bytes(0, 32) == b"\x00\x00\x00\x00"
+        assert nonce_bytes(1, 32) == b"\x00\x00\x00\x01"
+        assert nonce_bytes(2**32 - 1, 32) == b"\xff\xff\xff\xff"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            nonce_bytes(2**32, 32)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            nonce_bytes(-1, 32)
+
+    @given(st.integers(1, 64))
+    def test_width_matches_bits(self, bits):
+        assert len(nonce_bytes(0, bits)) == (bits + 7) // 8

@@ -1,0 +1,57 @@
+"""Stateful property test of the replay cache.
+
+Hypothesis drives random interleavings of redemptions and clock
+advances against a simple reference model, checking the cache's one
+guarantee: within the TTL, a seed is accepted at most once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.pow.verifier import ReplayCache
+
+TTL = 100.0
+
+
+class ReplayCacheMachine(RuleBasedStateMachine):
+    """Model: dict seed -> last accepted time; cache must agree."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.cache = ReplayCache(ttl=TTL, max_entries=1000)
+        self.now = 0.0
+        self.accepted_at: dict[str, float] = {}
+
+    @rule(seed=st.sampled_from([f"seed-{i}" for i in range(8)]))
+    def redeem(self, seed: str) -> None:
+        accepted = self.cache.check_and_add(seed, self.now)
+        last = self.accepted_at.get(seed)
+        if last is not None and self.now - last <= TTL:
+            # A live entry must be refused...
+            assert not accepted, (
+                f"{seed} replayed at {self.now} (accepted at {last})"
+            )
+        if accepted:
+            self.accepted_at[seed] = self.now
+
+    @rule(delta=st.floats(min_value=0.1, max_value=60.0))
+    def advance_clock(self, delta: float) -> None:
+        self.now += delta
+
+    @invariant()
+    def cache_never_over_capacity(self) -> None:
+        assert len(self.cache) <= 1000
+
+
+TestReplayCacheStateful = ReplayCacheMachine.TestCase
+TestReplayCacheStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

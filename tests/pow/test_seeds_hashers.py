@@ -1,0 +1,99 @@
+"""Unit tests for seed sources and hash backends."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.pow.hashers import available_algorithms, digest_size, get_hasher
+from repro.pow.seeds import (
+    SEED_BYTES,
+    CountingSeedSource,
+    SequentialSeedSource,
+    SystemSeedSource,
+)
+from repro.pow.solver import sample_attempts
+
+
+class TestSeedSources:
+    def test_system_seeds_are_unique_and_sized(self):
+        source = SystemSeedSource()
+        seeds = {source.next_seed() for _ in range(100)}
+        assert len(seeds) == 100
+        assert all(len(s) == SEED_BYTES for s in seeds)
+
+    def test_sequential_is_deterministic(self):
+        a = SequentialSeedSource(base=5)
+        b = SequentialSeedSource(base=5)
+        assert [a.next_seed() for _ in range(3)] == [
+            b.next_seed() for _ in range(3)
+        ]
+
+    def test_sequential_encodes_counter(self):
+        source = SequentialSeedSource(base=7)
+        assert int.from_bytes(source.next_seed(), "big") == 7
+        assert int.from_bytes(source.next_seed(), "big") == 8
+
+    def test_sequential_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialSeedSource(base=-1)
+
+    def test_counting_wrapper(self):
+        source = CountingSeedSource(SequentialSeedSource())
+        source.next_seed()
+        source.next_seed()
+        assert source.count == 2
+
+
+class TestHashers:
+    def test_known_algorithms_available(self):
+        names = available_algorithms()
+        assert "sha256" in names
+        assert "blake2b" in names
+
+    @pytest.mark.parametrize("name", ["sha256", "sha1", "sha512", "blake2b"])
+    def test_hasher_matches_hashlib(self, name):
+        import hashlib
+
+        hasher = get_hasher(name)
+        assert hasher(b"abc") == hashlib.new(name, b"abc").digest()
+        assert len(hasher(b"")) == digest_size(name)
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ConfigError):
+            get_hasher("md5")
+        with pytest.raises(ConfigError):
+            digest_size("md5")
+
+
+class TestSampleAttempts:
+    def test_difficulty_zero_always_one(self):
+        rng = random.Random(1)
+        assert all(sample_attempts(0, rng) == 1 for _ in range(20))
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_attempts(-1, random.Random(1))
+
+    def test_mean_tracks_two_to_the_d(self):
+        rng = random.Random(42)
+        for d in (4, 8):
+            n = 4000
+            mean = sum(sample_attempts(d, rng) for _ in range(n)) / n
+            # Standard error of the mean is ~2**d / sqrt(n).
+            assert mean == pytest.approx(2**d, rel=0.15)
+
+    def test_median_tracks_ln2_scaling(self):
+        rng = random.Random(43)
+        d = 10
+        samples = sorted(sample_attempts(d, rng) for _ in range(2001))
+        median = samples[1000]
+        assert median == pytest.approx(2**d * math.log(2), rel=0.2)
+
+    def test_deterministic_given_rng(self):
+        a = [sample_attempts(6, random.Random(9)) for _ in range(5)]
+        b = [sample_attempts(6, random.Random(9)) for _ in range(5)]
+        assert a == b

@@ -1,0 +1,147 @@
+"""Unit tests for the synthetic threat-intelligence corpus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.reputation.dataset import (
+    CorpusParams,
+    generate_corpus,
+    synthesize_features,
+)
+from repro.reputation.features import DEFAULT_SCHEMA
+from repro.traffic.ipaddr import is_valid_ipv4
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_corpus(size=50, seed=3)
+        b = generate_corpus(size=50, seed=3)
+        assert [e.features for e in a] == [e.features for e in b]
+        assert [e.ip for e in a] == [e.ip for e in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(size=50, seed=3)
+        b = generate_corpus(size=50, seed=4)
+        assert [e.ip for e in a] != [e.ip for e in b]
+
+    def test_size_respected(self):
+        assert len(generate_corpus(size=123, seed=1)) == 123
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(size=0)
+
+    def test_all_ips_valid(self):
+        corpus = generate_corpus(size=200, seed=5)
+        assert all(is_valid_ipv4(e.ip) for e in corpus)
+
+    def test_malicious_fraction_roughly_respected(self):
+        corpus = generate_corpus(
+            size=2000, seed=5, params=CorpusParams(malicious_fraction=0.3)
+        )
+        fraction = len(corpus.malicious) / len(corpus)
+        assert fraction == pytest.approx(0.3, abs=0.05)
+
+    def test_features_within_schema_ranges(self):
+        corpus = generate_corpus(size=300, seed=6)
+        for example in corpus:
+            for spec in DEFAULT_SCHEMA.specs:
+                value = example.features[spec.name]
+                assert spec.low <= value <= spec.high
+
+    def test_true_scores_track_labels(self):
+        corpus = generate_corpus(size=2000, seed=7)
+        malicious_mean = sum(e.true_score for e in corpus.malicious) / len(
+            corpus.malicious
+        )
+        benign_mean = sum(e.true_score for e in corpus.benign) / len(
+            corpus.benign
+        )
+        assert malicious_mean > 6.0
+        assert benign_mean < 4.0
+
+    def test_malicious_features_shifted_up(self):
+        corpus = generate_corpus(size=2000, seed=8)
+        matrix_mal = DEFAULT_SCHEMA.vectorize_many(
+            e.features for e in corpus.malicious
+        )
+        matrix_ben = DEFAULT_SCHEMA.vectorize_many(
+            e.features for e in corpus.benign
+        )
+        assert matrix_mal.mean() > matrix_ben.mean() + 1.0
+
+
+class TestSplit:
+    def test_split_partitions(self):
+        corpus = generate_corpus(size=300, seed=9)
+        train, test = corpus.split(2 / 3)
+        assert len(train) + len(test) == 300
+        assert len(train) == 200
+
+    def test_split_validates_fraction(self):
+        corpus = generate_corpus(size=10, seed=9)
+        with pytest.raises(ValueError):
+            corpus.split(0.0)
+        with pytest.raises(ValueError):
+            corpus.split(1.0)
+
+    def test_split_never_empty(self):
+        corpus = generate_corpus(size=2, seed=9)
+        train, test = corpus.split(0.99)
+        assert len(train) >= 1
+        assert len(test) >= 1
+
+
+class TestAccessors:
+    def test_matrix_and_labels_aligned(self):
+        corpus = generate_corpus(size=100, seed=10)
+        matrix = corpus.feature_matrix()
+        labels = corpus.labels()
+        scores = corpus.true_scores()
+        assert matrix.shape == (100, 10)
+        assert labels.shape == (100,)
+        assert scores.shape == (100,)
+        assert set(labels) <= {0, 1}
+
+    def test_indexing(self):
+        corpus = generate_corpus(size=10, seed=11)
+        assert corpus[0] == corpus.examples[0]
+
+
+class TestCorpusParams:
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            CorpusParams(malicious_fraction=fraction)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusParams(benign_alpha=0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusParams(noise_sd=-1.0)
+
+
+class TestSynthesizeFeatures:
+    def test_intensity_bounds_enforced(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            synthesize_features(-0.1, rng)
+        with pytest.raises(ValueError):
+            synthesize_features(1.1, rng)
+
+    def test_zero_noise_is_deterministic_in_intensity(self):
+        rng = random.Random(1)
+        features = synthesize_features(0.5, rng, noise_sd=0.0)
+        again = synthesize_features(0.5, rng, noise_sd=0.0)
+        assert features == again
+
+    def test_higher_intensity_higher_features(self):
+        rng = random.Random(1)
+        low = synthesize_features(0.1, rng, noise_sd=0.0)
+        high = synthesize_features(0.9, rng, noise_sd=0.0)
+        assert all(high[k] >= low[k] for k in low)

@@ -1,0 +1,123 @@
+"""Unit and property tests for the feature schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import FeatureSchemaError
+from repro.reputation.features import (
+    DEFAULT_SCHEMA,
+    FEATURE_NAMES,
+    FeatureSchema,
+    FeatureSpec,
+)
+
+
+def full_features(value: float = 1.0) -> dict[str, float]:
+    return {name: value for name in FEATURE_NAMES}
+
+
+class TestFeatureSpec:
+    def test_validate_passes_in_range(self):
+        spec = FeatureSpec("x", 0.0, 10.0)
+        assert spec.validate(5.5) == 5.5
+
+    def test_validate_rejects_out_of_range(self):
+        spec = FeatureSpec("x", 0.0, 10.0)
+        with pytest.raises(FeatureSchemaError):
+            spec.validate(10.1)
+        with pytest.raises(FeatureSchemaError):
+            spec.validate(-0.1)
+
+    def test_validate_rejects_nan_and_inf(self):
+        spec = FeatureSpec("x", 0.0, 10.0)
+        with pytest.raises(FeatureSchemaError):
+            spec.validate(float("nan"))
+        with pytest.raises(FeatureSchemaError):
+            spec.validate(float("inf"))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("x", 5.0, 5.0)
+
+    def test_span(self):
+        assert FeatureSpec("x", 2.0, 12.0).span == 10.0
+
+
+class TestFeatureSchema:
+    def test_default_schema_has_ten_features(self):
+        assert len(DEFAULT_SCHEMA) == 10
+        assert len(FEATURE_NAMES) == 10
+
+    def test_vectorize_order_matches_names(self):
+        features = {
+            name: float(i) for i, name in enumerate(FEATURE_NAMES)
+        }
+        vector = DEFAULT_SCHEMA.vectorize(features)
+        assert list(vector) == [float(i) for i in range(10)]
+
+    def test_vectorize_rejects_missing(self):
+        features = full_features()
+        del features[FEATURE_NAMES[0]]
+        with pytest.raises(FeatureSchemaError, match="missing"):
+            DEFAULT_SCHEMA.vectorize(features)
+
+    def test_vectorize_rejects_unknown(self):
+        features = full_features()
+        features["mystery"] = 1.0
+        with pytest.raises(FeatureSchemaError, match="unknown"):
+            DEFAULT_SCHEMA.vectorize(features)
+
+    def test_vectorize_many_shape(self):
+        rows = [full_features(1.0), full_features(2.0)]
+        matrix = DEFAULT_SCHEMA.vectorize_many(rows)
+        assert matrix.shape == (2, 10)
+
+    def test_vectorize_many_empty(self):
+        assert DEFAULT_SCHEMA.vectorize_many([]).shape == (0, 10)
+
+    def test_normalize_maps_range_to_unit(self):
+        lows = DEFAULT_SCHEMA.vectorize(full_features(0.0))
+        highs = DEFAULT_SCHEMA.vectorize(full_features(10.0))
+        assert np.allclose(DEFAULT_SCHEMA.normalize(lows), 0.0)
+        assert np.allclose(DEFAULT_SCHEMA.normalize(highs), 1.0)
+
+    def test_normalize_rejects_wrong_width(self):
+        with pytest.raises(FeatureSchemaError):
+            DEFAULT_SCHEMA.normalize(np.zeros((1, 3)))
+
+    def test_to_mapping_round_trip(self):
+        features = {name: float(i) for i, name in enumerate(FEATURE_NAMES)}
+        vector = DEFAULT_SCHEMA.vectorize(features)
+        assert DEFAULT_SCHEMA.to_mapping(vector) == features
+
+    def test_duplicate_names_rejected(self):
+        spec = FeatureSpec("x", 0.0, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            FeatureSchema([spec, spec])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSchema([])
+
+    def test_spec_lookup(self):
+        spec = DEFAULT_SCHEMA.spec("geo_risk")
+        assert spec.name == "geo_risk"
+        with pytest.raises(FeatureSchemaError):
+            DEFAULT_SCHEMA.spec("nope")
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=10,
+            max_size=10,
+        )
+    )
+    def test_vectorize_round_trip_property(self, values):
+        features = dict(zip(FEATURE_NAMES, values))
+        vector = DEFAULT_SCHEMA.vectorize(features)
+        rebuilt = DEFAULT_SCHEMA.to_mapping(vector)
+        assert rebuilt == pytest.approx(features)

@@ -1,0 +1,73 @@
+"""Tests for the logistic-regression reputation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelNotFittedError
+from repro.reputation.evaluation import evaluate_model
+from repro.reputation.features import FEATURE_NAMES
+from repro.reputation.logistic import LogisticReputationModel
+
+
+def features_at(value: float) -> dict[str, float]:
+    return {name: value for name in FEATURE_NAMES}
+
+
+class TestTraining:
+    def test_loss_decreases(self, corpus_split):
+        train, _ = corpus_split
+        model = LogisticReputationModel(iterations=200).fit(train)
+        assert model.loss_history[0] > model.loss_history[-1]
+        # Loss should be monotone non-increasing in the tail.
+        tail = model.loss_history[-50:]
+        assert all(b <= a + 1e-9 for a, b in zip(tail, tail[1:]))
+
+    def test_accuracy_competitive(self, corpus_split):
+        train, test = corpus_split
+        model = LogisticReputationModel().fit(train)
+        report = evaluate_model(model, test)
+        assert report.accuracy > 0.78
+        assert report.auc > 0.85
+
+    def test_weights_point_toward_maliciousness(self, corpus_split):
+        """All features increase with intensity, so weights skew positive."""
+        train, _ = corpus_split
+        model = LogisticReputationModel().fit(train)
+        assert float(np.mean(model.weights)) > 0
+
+    def test_requires_both_classes(self, corpus_split):
+        train, _ = corpus_split
+        malicious_only = type(train)(
+            train.malicious, train.schema, train.params, train.seed
+        )
+        with pytest.raises(ValueError, match="both classes"):
+            LogisticReputationModel().fit(malicious_only)
+
+
+class TestScoring:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            LogisticReputationModel().score(features_at(5.0))
+
+    def test_scores_in_range_and_monotone_at_extremes(self, corpus_split):
+        train, _ = corpus_split
+        model = LogisticReputationModel().fit(train)
+        low = model.score(features_at(0.0))
+        high = model.score(features_at(10.0))
+        assert 0.0 <= low < high <= 10.0
+        assert low < 3.0
+        assert high > 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticReputationModel(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticReputationModel(iterations=0)
+        with pytest.raises(ValueError):
+            LogisticReputationModel(l2=-0.1)
+
+    def test_weights_unavailable_before_fit(self):
+        with pytest.raises(AttributeError):
+            LogisticReputationModel().weights

@@ -1,0 +1,166 @@
+"""Tests for model persistence and subnet-aggregate scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReputationError
+from repro.core.records import ClientRequest
+from repro.reputation.dabr import DAbRModel
+from repro.reputation.ensemble import ConstantModel
+from repro.reputation.features import FEATURE_NAMES, FeatureSchema, FeatureSpec
+from repro.reputation.knn import KNNReputationModel
+from repro.reputation.logistic import LogisticReputationModel
+from repro.reputation.persistence import (
+    dump_model,
+    load_model,
+    load_model_file,
+    save_model_file,
+)
+from repro.reputation.subnet import SubnetAggregateModel
+
+
+class TestPersistence:
+    def test_dabr_round_trip(self, corpus_split, fitted_dabr):
+        _, test = corpus_split
+        loaded = load_model(dump_model(fitted_dabr))
+        for example in test.examples[:50]:
+            assert loaded.score(example.features) == pytest.approx(
+                fitted_dabr.score(example.features)
+            )
+        assert np.allclose(loaded.centroid, fitted_dabr.centroid)
+        assert loaded.scale == pytest.approx(fitted_dabr.scale)
+
+    def test_logistic_round_trip(self, corpus_split):
+        train, test = corpus_split
+        model = LogisticReputationModel(iterations=100).fit(train)
+        loaded = load_model(dump_model(model))
+        for example in test.examples[:50]:
+            assert loaded.score(example.features) == pytest.approx(
+                model.score(example.features)
+            )
+
+    def test_file_round_trip(self, fitted_dabr, corpus_split, tmp_path):
+        _, test = corpus_split
+        path = tmp_path / "model.json"
+        save_model_file(fitted_dabr, path)
+        loaded = load_model_file(path)
+        example = test[0]
+        assert loaded.score(example.features) == pytest.approx(
+            fitted_dabr.score(example.features)
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ReputationError, match="unfitted"):
+            dump_model(DAbRModel())
+
+    def test_unsupported_model_rejected(self, corpus_split):
+        train, _ = corpus_split
+        with pytest.raises(ReputationError, match="supported"):
+            dump_model(KNNReputationModel().fit(train))
+
+    def test_schema_mismatch_rejected(self, fitted_dabr):
+        document = dump_model(fitted_dabr)
+        other_schema = FeatureSchema(
+            [FeatureSpec("only_one", 0.0, 1.0)]
+        )
+        with pytest.raises(ReputationError, match="schema mismatch"):
+            load_model(document, schema=other_schema)
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ReputationError):
+            load_model("{not json")
+        with pytest.raises(ReputationError):
+            load_model('["list"]')
+        with pytest.raises(ReputationError):
+            load_model('{"format": 99}')
+        import json
+
+        with pytest.raises(ReputationError, match="unknown model type"):
+            load_model(json.dumps({
+                "format": 1,
+                "type": "mystery",
+                "schema": list(FEATURE_NAMES),
+            }))
+
+
+def request_from(ip: str, t: float = 0.0) -> ClientRequest:
+    return ClientRequest(client_ip=ip, resource="/r", timestamp=t, features={})
+
+
+class ScriptedModel:
+    """Per-IP scripted scores for deterministic subnet tests."""
+
+    name = "scripted"
+
+    def __init__(self, scores: dict[str, float], default: float = 0.0):
+        self.scores = scores
+        self.default = default
+
+    def score(self, features):
+        return self.default
+
+    def score_request(self, request):
+        return self.scores.get(request.client_ip, self.default)
+
+
+class TestSubnetAggregate:
+    def test_new_ip_inherits_bad_neighbourhood(self):
+        scripted = ScriptedModel(
+            {
+                "110.1.1.1": 9.0,
+                "110.1.1.2": 8.0,
+                "110.1.1.3": 9.5,
+                "110.1.1.99": 1.0,  # fresh bot, clean intel
+            }
+        )
+        model = SubnetAggregateModel(scripted, blend=0.8, min_observations=3)
+        for ip in ("110.1.1.1", "110.1.1.2", "110.1.1.3"):
+            model.score_request(request_from(ip))
+        inherited = model.score_request(request_from("110.1.1.99"))
+        # max(1.0, 0.8 * mean(9, 8, 9.5)) = 0.8 * 8.833 ≈ 7.07
+        assert inherited == pytest.approx(0.8 * (9.0 + 8.0 + 9.5) / 3)
+
+    def test_clean_subnet_unaffected(self):
+        scripted = ScriptedModel(
+            {"23.1.1.1": 1.0, "23.1.1.2": 0.5, "23.1.1.3": 1.5, "23.1.1.4": 6.0}
+        )
+        model = SubnetAggregateModel(scripted, min_observations=3)
+        for ip in ("23.1.1.1", "23.1.1.2", "23.1.1.3"):
+            model.score_request(request_from(ip))
+        # The aggregate (≈1) is below the address's own score: no change.
+        assert model.score_request(request_from("23.1.1.4")) == 6.0
+
+    def test_min_observations_guard(self):
+        scripted = ScriptedModel({"110.2.2.1": 10.0, "110.2.2.9": 0.0})
+        model = SubnetAggregateModel(scripted, min_observations=3)
+        model.score_request(request_from("110.2.2.1"))
+        # Only one observed neighbour: aggregate must not apply.
+        assert model.score_request(request_from("110.2.2.9")) == 0.0
+
+    def test_different_subnets_isolated(self):
+        scripted = ScriptedModel(
+            {f"110.3.3.{i}": 9.0 for i in range(1, 5)} | {"23.9.9.9": 0.5}
+        )
+        model = SubnetAggregateModel(scripted, min_observations=3)
+        for i in range(1, 5):
+            model.score_request(request_from(f"110.3.3.{i}"))
+        assert model.score_request(request_from("23.9.9.9")) == 0.5
+        assert model.tracked_subnets() == 2
+
+    def test_validation(self):
+        inner = ConstantModel(1.0)
+        with pytest.raises(ValueError):
+            SubnetAggregateModel(inner, prefix=40)
+        with pytest.raises(ValueError):
+            SubnetAggregateModel(inner, blend=1.5)
+        with pytest.raises(ValueError):
+            SubnetAggregateModel(inner, min_observations=0)
+
+    def test_protocol_conformance(self):
+        from repro.core.interfaces import ReputationModel
+
+        assert isinstance(
+            SubnetAggregateModel(ConstantModel(1.0)), ReputationModel
+        )

@@ -1,0 +1,111 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["figure2"],
+            ["figure2", "--trials", "5", "--mode", "grind"],
+            ["calibrate", "--trials", "50"],
+            ["accuracy", "--corpus-size", "1000"],
+            ["throttle", "--duration", "5"],
+            ["ablations"],
+            ["demo", "--score", "3"],
+            ["serve", "--port", "0"],
+            ["all"],
+        ],
+    )
+    def test_known_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_figure2_fast(self, capsys):
+        code = main(["figure2", "--trials", "5", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "policy-2" in out
+        # With only 5 trials the shape check may or may not pass; the
+        # command still runs to completion either way.
+        assert code in (0, 1)
+
+    def test_figure2_default_passes_shape_check(self, capsys):
+        code = main(["figure2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shape check: OK" in out
+
+    def test_calibrate(self, capsys):
+        code = main(["calibrate", "--trials", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "31" in out
+
+    def test_accuracy(self, capsys):
+        code = main(["accuracy", "--corpus-size", "1500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dabr" in out
+
+    def test_demo_with_forced_score(self, capsys):
+        code = main(["demo", "--score", "2", "--policy", "policy-1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "difficulty 3" in out
+        assert "served" in out
+
+    def test_demo_with_dabr(self, capsys):
+        code = main(["demo", "--policy", "policy-1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DAbR" in out
+
+    def test_ablations(self, capsys):
+        code = main(["ablations"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "break_even_difficulty" in out
+
+    def test_throttle_small(self, capsys):
+        code = main(
+            ["throttle", "--duration", "5", "--benign", "4", "--bots", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ai-pow" in out
+
+    def test_analyze(self, capsys):
+        code = main(["analyze", "--targets", "0.031", "0.1", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "amplification" in out
+        assert "synthesized policy" in out
+
+    def test_export_writes_json(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(["export", "--out", str(out_dir)])
+        assert code == 0
+        written = sorted(p.name for p in out_dir.glob("*.json"))
+        assert "fig2.json" in written
+        assert "acc80.json" in written
+        assert "throttle.json" in written
+        import json
+
+        data = json.loads((out_dir / "cal31.json").read_text())
+        assert data["experiment_id"] == "cal31"

@@ -1,0 +1,163 @@
+"""Fuzz and adversarial-input tests across trust boundaries.
+
+Anything that crosses the wire — puzzle frames, solution frames,
+request lines — is attacker-controlled; these tests assert the parsers
+and the live server fail *closed* (clean error, no crash, no accept).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError, PuzzleError
+from repro.core.framework import AIPoWFramework
+from repro.net.live.protocol import parse_reply, parse_request, send_line, read_line
+from repro.net.live.server import LiveServer
+from repro.policies.linear import policy_1
+from repro.pow.generator import PuzzleGenerator
+from repro.pow.puzzle import Puzzle, Solution
+from repro.pow.solver import HashSolver
+from repro.pow.verifier import PuzzleVerifier
+from repro.reputation.ensemble import ConstantModel
+
+printable_junk = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=200,
+)
+
+
+class TestFrameParserFuzz:
+    @given(printable_junk)
+    def test_puzzle_parser_never_crashes(self, line):
+        try:
+            puzzle = Puzzle.from_wire(line)
+        except (ProtocolError, ValueError):
+            return
+        # Anything that parses must re-serialise consistently.
+        assert Puzzle.from_wire(puzzle.to_wire()) == puzzle
+
+    @given(printable_junk)
+    def test_solution_parser_never_crashes(self, line):
+        try:
+            solution = Solution.from_wire(line)
+        except (ProtocolError, ValueError):
+            return
+        assert Solution.from_wire(solution.to_wire()) == solution
+
+    @given(printable_junk)
+    def test_request_parser_never_crashes(self, line):
+        try:
+            resource, features = parse_request(line)
+        except ProtocolError:
+            return
+        assert resource.startswith("/")
+        assert isinstance(features, dict)
+
+    @given(printable_junk)
+    def test_reply_parser_never_crashes(self, line):
+        try:
+            ok, body = parse_reply(line)
+        except ProtocolError:
+            return
+        assert isinstance(ok, bool)
+
+
+class TestVerifierTamperFuzz:
+    """Bit-flip fuzzing: no tampered puzzle may verify."""
+
+    CLIENT = "198.51.100.44"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        field=st.sampled_from(["seed", "timestamp", "difficulty", "tag"]),
+        delta=st.integers(1, 255),
+    )
+    def test_single_field_tampering_rejected(self, field, delta):
+        generator = PuzzleGenerator()
+        verifier = PuzzleVerifier()
+        puzzle = generator.issue(self.CLIENT, 4, now=0.0)
+        solution = HashSolver().solve(puzzle, self.CLIENT)
+
+        if field == "seed":
+            raw = bytearray(bytes.fromhex(puzzle.seed))
+            raw[0] ^= delta
+            tampered = dataclasses.replace(puzzle, seed=raw.hex())
+        elif field == "timestamp":
+            tampered = dataclasses.replace(
+                puzzle, timestamp=puzzle.timestamp + delta
+            )
+        elif field == "difficulty":
+            tampered = dataclasses.replace(
+                puzzle, difficulty=max(0, puzzle.difficulty - delta % 4 - 1)
+            )
+        else:
+            raw = bytearray(bytes.fromhex(puzzle.tag))
+            raw[0] ^= delta
+            tampered = dataclasses.replace(puzzle, tag=raw.hex())
+
+        tampered_solution = Solution(
+            puzzle_seed=tampered.seed,
+            nonce=solution.nonce,
+            attempts=solution.attempts,
+        )
+        with pytest.raises(PuzzleError):
+            verifier.verify(tampered, tampered_solution, self.CLIENT, now=0.1)
+
+
+class TestLiveServerFuzz:
+    @pytest.fixture()
+    def server(self):
+        framework = AIPoWFramework(ConstantModel(0.0), policy_1())
+        with LiveServer(framework, io_timeout=5.0) as live:
+            yield live
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"\n",
+            b"REQUEST\n",
+            b"REQUEST /r\n",
+            b"REQUEST /r not-json\n",
+            b"\x00\x01\x02\x03\n",
+            b"PUZZLE 1 ab 1.0 8 sha256 00\n",
+            ("REQUEST /r " + "x" * 1000 + "\n").encode(),
+        ],
+    )
+    def test_malformed_first_frames_fail_closed(self, server, payload):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(payload)
+            try:
+                reply = read_line(sock)
+            except ProtocolError:
+                return  # server closed the connection: acceptable
+        assert reply.startswith("ERR")
+
+    def test_garbage_solution_frame_drops_connection(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            send_line(sock, 'REQUEST /r {}')
+            read_line(sock)  # the puzzle
+            sock.sendall(b"GARBAGE FRAME\n")
+            with pytest.raises(ProtocolError):
+                read_line(sock)
+
+    def test_server_survives_abusive_clients(self, server):
+        """After a barrage of bad peers, honest clients still work."""
+        from repro.net.live.client import LiveClient
+
+        host, port = server.address
+        for payload in (b"", b"\n", b"junk\n", b"\xff" * 64 + b"\n"):
+            try:
+                with socket.create_connection((host, port), timeout=5) as sock:
+                    if payload:
+                        sock.sendall(payload)
+            except OSError:
+                pass
+        result = LiveClient(server.address).fetch("/after", {})
+        assert result.ok

@@ -1,0 +1,89 @@
+"""Unit and property tests for IPv4 helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.ipaddr import (
+    int_to_ip,
+    ip_to_int,
+    is_valid_ipv4,
+    random_ip_in_subnet,
+    subnet_of,
+)
+
+
+class TestConversion:
+    @pytest.mark.parametrize(
+        "ip, value",
+        [
+            ("0.0.0.0", 0),
+            ("0.0.0.1", 1),
+            ("1.0.0.0", 1 << 24),
+            ("255.255.255.255", 0xFFFFFFFF),
+            ("192.168.1.1", 0xC0A80101),
+        ],
+    )
+    def test_known_pairs(self, ip, value):
+        assert ip_to_int(ip) == value
+        assert int_to_ip(value) == ip
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "-1.2.3.4"],
+    )
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+        assert not is_valid_ipv4(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestSubnets:
+    def test_random_ip_stays_in_subnet(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            ip = random_ip_in_subnet("10.5.0.0/16", rng)
+            assert ip.startswith("10.5.")
+
+    def test_network_and_broadcast_avoided(self):
+        rng = random.Random(4)
+        seen = {random_ip_in_subnet("192.168.1.0/30", rng) for _ in range(50)}
+        assert "192.168.1.0" not in seen
+        assert "192.168.1.3" not in seen
+
+    def test_bad_cidr_rejected(self):
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            random_ip_in_subnet("10.0.0.0", rng)
+        with pytest.raises(ValueError):
+            random_ip_in_subnet("10.0.0.0/33", rng)
+
+    def test_subnet_of(self):
+        assert subnet_of("192.168.37.200", 24) == "192.168.37.0/24"
+        assert subnet_of("10.1.2.3", 8) == "10.0.0.0/8"
+
+    def test_subnet_of_validates_prefix(self):
+        with pytest.raises(ValueError):
+            subnet_of("1.2.3.4", 40)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_subnet_contains_ip_property(self, value, prefix):
+        ip = int_to_ip(value)
+        cidr = subnet_of(ip, prefix)
+        base, _, p = cidr.partition("/")
+        mask = (~0 << (32 - int(p))) & 0xFFFFFFFF if int(p) else 0
+        assert ip_to_int(base) == value & mask
