@@ -5,6 +5,11 @@ accuracy of 80%".  This experiment trains the DAbR reproduction on the
 synthetic corpus and evaluates it on a held-out split, reporting
 accuracy, precision/recall, AUC and the score error ε that Policy 3
 consumes — alongside the k-NN alternative for context.
+
+The held-out split is scored through each model's vectorised
+``score_batch`` path (via :func:`repro.reputation.evaluation.evaluate_model`),
+so the experiment doubles as a consumer of the batch admission pipeline:
+one matrix pass per model instead of one Python call per example.
 """
 
 from __future__ import annotations

@@ -29,6 +29,8 @@ import random
 import time
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.config import TimingConfig
 from repro.core.interfaces import Policy
 from repro.metrics.histogram import SampleSet
@@ -151,6 +153,11 @@ def run_figure2(
 
     ``policies`` defaults to the paper's three; pass others to chart
     custom mappings with the same protocol.
+
+    Each score's trials are drained through the policy's batch path, so
+    the shared RNG is consumed difficulties-first per score (not
+    interleaved difficulty/latency as earlier versions did) — results
+    are deterministic per seed but differ from pre-batching streams.
     """
     config = config or Figure2Config()
     if policies is None:
@@ -163,10 +170,25 @@ def run_figure2(
     samples: dict[tuple[str, int], SampleSet] = {}
     for policy in policies:
         series: list[float] = []
+        batch = getattr(policy, "difficulty_batch", None)
         for score in config.scores:
+            # The `trials` same-score requests are one same-timestep
+            # batch: drain them through the policy's vectorised path
+            # when it has one (custom protocol-only policies loop).
+            if batch is not None:
+                difficulties = [
+                    int(d)
+                    for d in batch(
+                        np.full(config.trials, float(score)), rng
+                    )
+                ]
+            else:
+                difficulties = [
+                    policy.difficulty_for(float(score), rng)
+                    for _ in range(config.trials)
+                ]
             sample_set = SampleSet()
-            for trial in range(config.trials):
-                difficulty = policy.difficulty_for(float(score), rng)
+            for trial, difficulty in enumerate(difficulties):
                 if config.mode == "modeled":
                     latency = _one_latency_modeled(
                         difficulty, config.timing, rng

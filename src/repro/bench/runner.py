@@ -58,8 +58,15 @@ def _onset_result() -> ExperimentResult:
     return run_onset()
 
 
+def _batch_throughput_result() -> ExperimentResult:
+    from repro.bench.batch import run_batch_throughput
+
+    return run_batch_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
+EXPERIMENTS["thr-batch"] = _batch_throughput_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

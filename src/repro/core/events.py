@@ -84,10 +84,30 @@ class EventBus:
         for kind, subs in self._by_kind.items():
             self._by_kind[kind] = [s for s in subs if s != subscriber]
 
+    def has_subscribers(self, kind: EventKind) -> bool:
+        """True when an event of ``kind`` would reach at least one subscriber.
+
+        The framework's batch path checks this once per pipeline stage
+        to skip building per-request events nobody would see.
+        """
+        return bool(self._global) or bool(self._by_kind.get(kind))
+
     def emit(self, kind: EventKind, timestamp: float, **payload: Any) -> None:
-        """Build and deliver an event to all matching subscribers."""
+        """Build and deliver an event to all matching subscribers.
+
+        Returns without building the event when nothing is subscribed —
+        emission sits on the per-request hot path, so the no-observer
+        case must cost a dictionary lookup, not an allocation.
+        """
+        by_kind = self._by_kind.get(kind)
+        if self._global:
+            targets = self._global + by_kind if by_kind else list(self._global)
+        elif by_kind:
+            targets = list(by_kind)
+        else:
+            return
         event = FrameworkEvent(kind=kind, timestamp=timestamp, payload=payload)
-        for subscriber in self._global + self._by_kind.get(kind, []):
+        for subscriber in targets:
             try:
                 subscriber(event)
             except Exception:  # noqa: BLE001 - observer isolation by design

@@ -13,13 +13,26 @@ into two calls mirroring the two network round-trips:
 
 :meth:`process` runs the whole exchange in-process with a supplied solver
 and clock — the backbone of the examples and of the wall-clock benches.
+
+Batch admission
+---------------
+Concurrent arrivals do not need to walk the pipeline one at a time:
+:meth:`challenge_batch` scores a whole batch through the model's
+vectorised path, maps all scores through the policy in one call, and
+issues the puzzles through :meth:`PuzzleGenerator.generate_batch` —
+while still producing one :class:`IssuerDecision`, one
+:class:`~repro.pow.puzzle.Puzzle` and the same per-request events as the
+scalar path.  The simulator drains same-timestep arrivals through this
+path, and :meth:`process_batch` does the same for in-process exchanges.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.config import FrameworkConfig
 from repro.core.errors import (
@@ -142,6 +155,154 @@ class AIPoWFramework:
         )
         return Challenge(decision, puzzle)
 
+    def challenge_batch(
+        self,
+        requests: Sequence[ClientRequest],
+        now: float | Sequence[float] | None = None,
+    ) -> list[Challenge]:
+        """Score and issue puzzles for many requests in one pass.
+
+        The batch equivalent of :meth:`challenge`: each request still
+        gets its own :class:`IssuerDecision` and :class:`Challenge`, and
+        the per-request scores, difficulties and puzzles are identical
+        to running the scalar path request-by-request (randomized
+        policies consume the framework RNG in request order, exactly
+        like the equivalent loop).  What changes is the cost model —
+        scoring runs through the model's vectorised batch path, the
+        policy maps all scores at once, and puzzle issuance amortises
+        its seed and HMAC setup.
+
+        ``now`` may be one timestamp for the whole batch (the common
+        same-timestep case) or one timestamp per request (used by the
+        simulator when FIFO queueing staggers issue times within an
+        arrival batch).
+
+        Event ordering: the scalar path interleaves stages per request
+        (``REQUEST_RECEIVED``, ``SCORED``, ... for request A, then for
+        B); the batch path emits stage-major — every ``REQUEST_RECEIVED``
+        first, then every ``SCORED``, and so on — preserving request
+        order *within* each stage and stamping each event with its
+        request's own timestamp.  Models/policies without batch support
+        fall back to the scalar loop transparently.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        count = len(requests)
+        if now is None:
+            now = time.time()
+        if isinstance(now, (int, float)):
+            times = [float(now)] * count
+        else:
+            times = [float(t) for t in now]
+            if len(times) != count:
+                raise ValueError(
+                    f"got {len(times)} timestamps for {count} requests"
+                )
+
+        events = self.events
+        if events.has_subscribers(EventKind.REQUEST_RECEIVED):
+            for request, at in zip(requests, times):
+                events.emit(
+                    EventKind.REQUEST_RECEIVED, at, request=request
+                )
+
+        scores = self._score_requests(requests)
+        if events.has_subscribers(EventKind.SCORED):
+            for request, at, score in zip(requests, times, scores):
+                events.emit(
+                    EventKind.SCORED, at, request=request, score=float(score)
+                )
+
+        raw = self._difficulties_for(scores)
+        clamped = np.clip(
+            raw, self.config.min_difficulty, self.config.pow.max_difficulty
+        )
+        difficulties = [int(d) for d in clamped]
+        policy_name = self.policy.name
+        if events.has_subscribers(EventKind.POLICY_APPLIED):
+            for request, at, score, difficulty in zip(
+                requests, times, scores, difficulties
+            ):
+                events.emit(
+                    EventKind.POLICY_APPLIED,
+                    at,
+                    request=request,
+                    score=float(score),
+                    difficulty=difficulty,
+                    policy=policy_name,
+                )
+
+        puzzles = self._generator.generate_batch(
+            [request.client_ip for request in requests], difficulties, times
+        )
+        model_name = self.model.name
+        score_values = [float(score) for score in scores]
+        new = object.__new__
+        set_field = object.__setattr__
+        challenges: list[Challenge] = []
+        for request, score, difficulty, puzzle in zip(
+            requests, score_values, difficulties, puzzles
+        ):
+            # Trusted construction: the difficulty was clamped to a
+            # non-negative range above, so IssuerDecision.__post_init__
+            # has nothing left to reject — skipping it is measurable at
+            # batch sizes in the thousands.
+            decision = new(IssuerDecision)
+            set_field(decision, "request", request)
+            set_field(decision, "reputation_score", score)
+            set_field(decision, "difficulty", difficulty)
+            set_field(decision, "policy_name", policy_name)
+            set_field(decision, "model_name", model_name)
+            challenges.append(Challenge(decision, puzzle))
+
+        if events.has_subscribers(EventKind.PUZZLE_ISSUED):
+            for at, challenge in zip(times, challenges):
+                events.emit(
+                    EventKind.PUZZLE_ISSUED,
+                    at,
+                    decision=challenge.decision,
+                    puzzle=challenge.puzzle,
+                )
+        return challenges
+
+    def _score_requests(self, requests: Sequence[ClientRequest]) -> np.ndarray:
+        """Model scores for a batch, vectorised when the model can.
+
+        Uses the model's optional ``score_requests`` batch method (see
+        :class:`~repro.core.interfaces.SupportsScoreBatch`); scalar-only
+        models are looped.  Mirrors
+        ``repro.reputation.base.model_score_requests`` deliberately:
+        the core package depends only on the interfaces, never on the
+        concrete reputation package, so the three-line dispatch is
+        duplicated here rather than imported.
+        """
+        scorer = getattr(self.model, "score_requests", None)
+        if scorer is not None:
+            return np.asarray(scorer(requests), dtype=np.float64)
+        return np.array(
+            [self.model.score_request(request) for request in requests],
+            dtype=np.float64,
+        )
+
+    def _difficulties_for(self, scores: np.ndarray) -> np.ndarray:
+        """Policy difficulties for a score vector, vectorised when possible.
+
+        Uses the policy's optional ``difficulty_batch`` (see
+        :class:`~repro.core.interfaces.SupportsDifficultyBatch`);
+        scalar-only policies are looped with the same RNG order.
+        """
+        batch = getattr(self.policy, "difficulty_batch", None)
+        if batch is not None:
+            return np.asarray(batch(scores, self._rng))
+        return np.array(
+            [
+                self.policy.difficulty_for(float(score), self._rng)
+                for score in scores
+            ],
+            dtype=np.int64,
+        )
+
     # ------------------------------------------------------------------
     # Server-side half 2: solution -> resource
     # ------------------------------------------------------------------
@@ -228,6 +389,32 @@ class AIPoWFramework:
             now=clock(),
             request_sent_at=request.timestamp,
         )
+
+    def process_batch(
+        self,
+        requests: Sequence[ClientRequest],
+        solver: PuzzleSolver,
+        clock: Callable[[], float] = time.time,
+    ) -> list[ServedResponse]:
+        """Run full exchanges for many requests, batching the admission.
+
+        Challenges are issued through :meth:`challenge_batch`; solving
+        and redemption are inherently per-solution (each verification
+        hashes a distinct nonce) and run sequentially in request order.
+        """
+        challenges = self.challenge_batch(requests, now=clock())
+        responses: list[ServedResponse] = []
+        for request, challenge in zip(requests, challenges):
+            solution = solver.solve(challenge.puzzle, request.client_ip)
+            responses.append(
+                self.redeem(
+                    challenge,
+                    solution,
+                    now=clock(),
+                    request_sent_at=request.timestamp,
+                )
+            )
+        return responses
 
     def deny(
         self,

@@ -31,6 +31,8 @@ __all__ = [
     "PuzzleVerifier",
     "PuzzleSolver",
     "SupportsName",
+    "SupportsScoreBatch",
+    "SupportsDifficultyBatch",
 ]
 
 
@@ -77,6 +79,40 @@ class Policy(Protocol):
 
     def difficulty_for(self, score: float, rng: random.Random) -> int:
         """Return the puzzle difficulty for ``score`` ∈ [0, 10]."""
+        ...
+
+
+@runtime_checkable
+class SupportsScoreBatch(Protocol):
+    """Optional batch extension of :class:`ReputationModel`.
+
+    Models may expose ``score_batch`` (raw feature matrix → score
+    vector) and ``score_requests`` (request sequence → score vector).
+    The framework's :meth:`~repro.core.framework.AIPoWFramework.challenge_batch`
+    uses them when present and falls back to looping the scalar methods
+    otherwise, so the batch API stays opt-in for third-party models.
+    Deliberately separate from :class:`ReputationModel` so existing
+    scalar-only implementations keep passing ``isinstance`` checks.
+    """
+
+    def score_requests(self, requests):
+        """Vector of scores, aligned with ``requests``."""
+        ...
+
+
+@runtime_checkable
+class SupportsDifficultyBatch(Protocol):
+    """Optional batch extension of :class:`Policy`.
+
+    Policies may expose ``difficulty_batch(scores, rng)`` returning an
+    integer difficulty per score, consuming ``rng`` in array order so
+    randomized policies stay reproducible and equivalent to the scalar
+    loop.  The framework falls back to looping ``difficulty_for`` for
+    policies without it.
+    """
+
+    def difficulty_batch(self, scores, rng: random.Random):
+        """Vector of difficulties, aligned with ``scores``."""
         ...
 
 

@@ -12,6 +12,14 @@ client repeatedly (request → solve → response → think) for a fixed
 number of exchanges.  It reuses the same framework, channel, solve-time
 and server-queue models as the open-loop simulation, so results are
 directly comparable.
+
+Like the open-loop simulation, requests reaching the server at the same
+simulated instant (e.g. many sessions starting together) are admitted
+through :meth:`AIPoWFramework.challenge_batch` in one batch, with each
+puzzle stamped at its own FIFO-derived issue time.  Scoring and delay
+draws happen at the arrival instant (not each request's issue time) —
+the same deliberate approximation documented in
+:mod:`repro.net.sim.simulation`.
 """
 
 from __future__ import annotations
@@ -103,6 +111,11 @@ class ClosedLoopSimulation:
         self._profiles: dict[str, str] = {}
         self._server_busy_until = 0.0
         self._completed = 0
+        self._admission_batch: list[tuple] = []
+        #: Number of same-timestep admission batches drained so far.
+        self.admission_batches = 0
+        #: Size of the largest same-timestep admission batch seen.
+        self.largest_admission_batch = 0
 
     def _classify(self, response: ServedResponse) -> str:
         return self._profiles.get(
@@ -145,17 +158,36 @@ class ClosedLoopSimulation:
         )
 
     def _serve(self, session: SessionSpec, request, remaining: int) -> None:
+        # Coalesce same-instant server arrivals into one admission
+        # batch; the drain runs at the same timestamp after all of them
+        # (FIFO among equal timestamps), mirroring the open-loop
+        # simulation's batching.
         now = self.engine.now
         issue_at = self._server_complete(now, self.server_model.challenge_cost)
+        self._admission_batch.append((session, request, remaining, issue_at))
+        if len(self._admission_batch) == 1:
+            self.engine.schedule_at(now, self._drain_admissions)
 
-        def issue() -> None:
-            challenge = self.framework.challenge(request, now=self.engine.now)
+    def _drain_admissions(self) -> None:
+        """Issue challenges for all same-timestep arrivals in one batch."""
+        batch, self._admission_batch = self._admission_batch, []
+        self.admission_batches += 1
+        self.largest_admission_batch = max(
+            self.largest_admission_batch, len(batch)
+        )
+        challenges = self.framework.challenge_batch(
+            [request for _, request, _, _ in batch],
+            now=[issue_at for _, _, _, issue_at in batch],
+        )
+        for (session, _request, remaining, issue_at), challenge in zip(
+            batch, challenges
+        ):
             self.engine.schedule_at(
-                self.engine.now + self._delay(),
-                lambda: self._solve(session, challenge, remaining),
+                issue_at + self._delay(),
+                lambda s=session, c=challenge, r=remaining: self._solve(
+                    s, c, r
+                ),
             )
-
-        self.engine.schedule_at(issue_at, issue)
 
     def _solve(
         self, session: SessionSpec, challenge: Challenge, remaining: int

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.core.errors import PolicyDomainError
 
 __all__ = ["BasePolicy", "SCORE_DOMAIN"]
@@ -64,12 +66,50 @@ class BasePolicy:
             )
         return difficulty
 
+    def difficulty_batch(
+        self, scores, rng: random.Random
+    ) -> np.ndarray:
+        """Vector of difficulties for a vector of scores.
+
+        Semantics mirror :meth:`difficulty_for` element-wise: the whole
+        batch is domain-validated up front (the first offending score is
+        reported), randomized policies consume ``rng`` once per score in
+        array order, and the non-negativity of every result is enforced.
+        Returns an ``int64`` array aligned with ``scores``.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        low, high = self.domain
+        in_domain = (scores >= low) & (scores <= high)
+        if not in_domain.all():
+            offender = scores[np.argmin(in_domain)]
+            raise PolicyDomainError(float(offender), low, high)
+        difficulties = np.asarray(self._difficulty_batch(scores, rng))
+        if difficulties.size and difficulties.min() < 0:
+            index = int(np.argmin(difficulties))
+            raise ValueError(
+                f"{type(self).__name__} produced negative difficulty "
+                f"{int(difficulties[index])} for score {float(scores[index])}"
+            )
+        return difficulties.astype(np.int64)
+
     def describe(self) -> str:
         """Human-readable one-line description for reports and the CLI."""
         return f"{self.name} on scores in [{self.domain[0]}, {self.domain[1]}]"
 
     def _difficulty(self, score: float, rng: random.Random) -> int:
         raise NotImplementedError
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        """Batch hook; the default loops :meth:`_difficulty` per score.
+
+        Subclasses with closed-form mappings override this with a
+        vectorised implementation; third-party subclasses that only
+        implement ``_difficulty`` keep working through this fallback.
+        """
+        return np.array(
+            [self._difficulty(float(score), rng) for score in scores],
+            dtype=np.int64,
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

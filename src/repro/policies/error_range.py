@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["ErrorRangePolicy", "policy_3"]
@@ -77,6 +79,19 @@ class ErrorRangePolicy(BasePolicy):
     def _difficulty(self, score: float, rng: random.Random) -> int:
         low, high = self.interval(score)
         return rng.randint(low, high)
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        # Interval arithmetic is vectorised; the uniform draws stay
+        # sequential in array order so a batch consumes ``rng`` exactly
+        # like the equivalent scalar loop.
+        d = np.ceil(scores + self.base)
+        lows = np.maximum(0.0, np.ceil(d - self.epsilon)).astype(np.int64)
+        highs = np.ceil(d + self.epsilon).astype(np.int64)
+        randint = rng.randint
+        return np.array(
+            [randint(int(lo), int(hi)) for lo, hi in zip(lows, highs)],
+            dtype=np.int64,
+        )
 
     def describe(self) -> str:
         return (

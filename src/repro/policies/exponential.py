@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["ExponentialPolicy"]
@@ -60,6 +62,11 @@ class ExponentialPolicy(BasePolicy):
         return self.base + int(
             math.floor(self.scale * (self.growth**score - 1.0))
         )
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        return self.base + np.floor(
+            self.scale * (self.growth**scores - 1.0)
+        ).astype(np.int64)
 
     def describe(self) -> str:
         return (

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["FractionalLinearPolicy"]
@@ -58,9 +60,24 @@ class FractionalLinearPolicy(BasePolicy):
             raise PolicyDomainError(score, low, high)
         return self.slope * score + self.base
 
+    def fractional_difficulty_batch(self, scores) -> np.ndarray:
+        """Vector of real-valued difficulties (batch of the above)."""
+        scores = np.asarray(scores, dtype=np.float64)
+        low, high = self.domain
+        in_domain = (scores >= low) & (scores <= high)
+        if not in_domain.all():
+            from repro.core.errors import PolicyDomainError
+
+            offender = scores[np.argmin(in_domain)]
+            raise PolicyDomainError(float(offender), low, high)
+        return self.slope * scores + self.base
+
     def _difficulty(self, score: float, rng: random.Random) -> int:
         # Integer protocol compatibility: round against the client.
         return int(math.ceil(self.fractional_difficulty_for(score)))
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        return np.ceil(self.slope * scores + self.base).astype(np.int64)
 
     def describe(self) -> str:
         return (

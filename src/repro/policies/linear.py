@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["LinearPolicy", "policy_1", "policy_2"]
@@ -57,6 +59,9 @@ class LinearPolicy(BasePolicy):
 
     def _difficulty(self, score: float, rng: random.Random) -> int:
         return int(math.ceil(self.slope * score)) + self.base
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        return np.ceil(self.slope * scores).astype(np.int64) + self.base
 
     def describe(self) -> str:
         return (

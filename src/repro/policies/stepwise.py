@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["StepwisePolicy"]
@@ -61,6 +63,8 @@ class StepwisePolicy(BasePolicy):
             )
         self.thresholds = thresholds
         self.difficulties = difficulties
+        self._thresholds_arr = np.array(thresholds, dtype=np.float64)
+        self._difficulties_arr = np.array(difficulties, dtype=np.int64)
         self._name = name or f"stepwise({len(difficulties)} bands)"
 
     @property
@@ -72,6 +76,12 @@ class StepwisePolicy(BasePolicy):
             if score < threshold:
                 return self.difficulties[i]
         return self.difficulties[-1]
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        # side="right" places a score equal to a threshold in the band
+        # above it, matching the scalar `score < threshold` walk.
+        bands = np.searchsorted(self._thresholds_arr, scores, side="right")
+        return self._difficulties_arr[bands]
 
     def describe(self) -> str:
         bands = ", ".join(

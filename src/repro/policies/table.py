@@ -13,6 +13,8 @@ import math
 import random
 from typing import Sequence
 
+import numpy as np
+
 from repro.policies.base import BasePolicy
 
 __all__ = ["TablePolicy", "FixedPolicy"]
@@ -40,6 +42,9 @@ class FixedPolicy(BasePolicy):
     def _difficulty(self, score: float, rng: random.Random) -> int:
         return self.difficulty
 
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        return np.full(scores.shape, self.difficulty, dtype=np.int64)
+
     def describe(self) -> str:
         return f"{self.name}: difficulty = {self.difficulty} for all scores"
 
@@ -65,6 +70,7 @@ class TablePolicy(BasePolicy):
             raise ValueError(f"difficulties must be non-decreasing: {entries}")
         super().__init__(domain=(0.0, float(len(entries) - 1)))
         self.entries = entries
+        self._entries_arr = np.array(entries, dtype=np.int64)
         self._name = name or f"table({len(entries)} entries)"
 
     @property
@@ -73,6 +79,9 @@ class TablePolicy(BasePolicy):
 
     def _difficulty(self, score: float, rng: random.Random) -> int:
         return self.entries[int(math.ceil(score))]
+
+    def _difficulty_batch(self, scores: np.ndarray, rng: random.Random):
+        return self._entries_arr[np.ceil(scores).astype(np.int64)]
 
     def describe(self) -> str:
         return f"{self.name}: {list(self.entries)}"

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from typing import Sequence
 
 from repro.core.config import PowConfig
 from repro.core.errors import ConfigError
-from repro.pow.puzzle import Puzzle
+from repro.pow.puzzle import PUZZLE_VERSION, Puzzle, puzzle_prefix
 from repro.pow.seeds import SeedSource, SystemSeedSource
 
 __all__ = ["PuzzleGenerator", "compute_tag"]
@@ -89,3 +90,82 @@ class PuzzleGenerator:
             algorithm=self.config.hash_algorithm,
             tag=tag,
         )
+
+    def generate_batch(
+        self,
+        client_ips: Sequence[str],
+        difficulties: Sequence[int],
+        now: float | Sequence[float],
+    ) -> list[Puzzle]:
+        """Issue one puzzle per ``(client_ip, difficulty)`` pair.
+
+        Equivalent to calling :meth:`issue` once per pair (identical
+        puzzles for an identical seed stream, same validation, same
+        errors) but with the fixed costs amortised: one bulk draw from
+        the seed source, one HMAC key schedule reused across tags, and
+        puzzles assembled on a trusted path that skips re-validating the
+        fields this method just produced.  ``now`` may be a single
+        timestamp for the whole batch or one per puzzle.
+        """
+        count = len(client_ips)
+        if len(difficulties) != count:
+            raise ValueError(
+                f"got {len(difficulties)} difficulties for {count} clients"
+            )
+        if isinstance(now, (int, float)):
+            times = [float(now)] * count
+        else:
+            times = [float(t) for t in now]
+            if len(times) != count:
+                raise ValueError(
+                    f"got {len(times)} timestamps for {count} clients"
+                )
+        bulk = getattr(self._seeds, "next_seeds", None)
+        if bulk is not None:
+            raw_seeds = bulk(count)
+        else:
+            raw_seeds = [self._seeds.next_seed() for _ in range(count)]
+
+        algorithm = self.config.hash_algorithm
+        max_difficulty = self.config.max_difficulty
+        # hmac.HMAC.copy() reuses the key schedule across the batch.
+        mac_template = hmac.new(self.config.secret_key, b"", hashlib.sha256)
+        new = object.__new__
+        set_field = object.__setattr__
+        puzzles: list[Puzzle] = []
+        for client_ip, difficulty, issued_at, raw in zip(
+            client_ips, difficulties, times, raw_seeds
+        ):
+            if not client_ip:
+                raise ValueError("client_ip must be non-empty")
+            difficulty = int(difficulty)
+            if difficulty < 0:
+                raise ValueError(
+                    f"difficulty must be >= 0, got {difficulty}"
+                )
+            if difficulty > max_difficulty:
+                raise ConfigError(
+                    f"difficulty {difficulty} exceeds configured maximum "
+                    f"{max_difficulty}"
+                )
+            seed = raw.hex()
+            mac = mac_template.copy()
+            mac.update(
+                puzzle_prefix(
+                    PUZZLE_VERSION, seed, issued_at, difficulty,
+                    algorithm, client_ip,
+                )
+            )
+            # Trusted construction: every field was validated or derived
+            # above, and Puzzle.__init__ would re-parse the seed hex —
+            # measurable at batch sizes in the thousands.
+            puzzle = new(Puzzle)
+            set_field(puzzle, "seed", seed)
+            set_field(puzzle, "timestamp", issued_at)
+            set_field(puzzle, "difficulty", difficulty)
+            set_field(puzzle, "algorithm", algorithm)
+            set_field(puzzle, "tag", mac.hexdigest()[:TAG_HEX_LEN])
+            set_field(puzzle, "version", PUZZLE_VERSION)
+            puzzles.append(puzzle)
+        self.issued_count += count
+        return puzzles

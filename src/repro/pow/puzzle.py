@@ -17,10 +17,30 @@ import dataclasses
 
 from repro.core.errors import ProtocolError
 
-__all__ = ["Puzzle", "Solution", "PUZZLE_VERSION"]
+__all__ = ["Puzzle", "Solution", "PUZZLE_VERSION", "puzzle_prefix"]
 
 #: Wire-format version; bump on incompatible changes.
 PUZZLE_VERSION = 1
+
+
+def puzzle_prefix(
+    version: int,
+    seed: str,
+    timestamp: float,
+    difficulty: int,
+    algorithm: str,
+    client_ip: str,
+) -> bytes:
+    """The immutable hash prefix for one puzzle/client pair.
+
+    Shared by :meth:`Puzzle.prefix` and the generator's batch path so
+    the byte layout — which both the HMAC tag and the solver's digest
+    depend on — has exactly one definition.
+    """
+    return (
+        f"v{version}|{seed}|{timestamp!r}|"
+        f"{difficulty}|{algorithm}|{client_ip}|"
+    ).encode("ascii")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -67,10 +87,14 @@ class Puzzle:
         The puzzle data is concatenated with the client's IP address; the
         nonce is appended to this prefix on each hash evaluation.
         """
-        return (
-            f"v{self.version}|{self.seed}|{self.timestamp!r}|"
-            f"{self.difficulty}|{self.algorithm}|{client_ip}|"
-        ).encode("ascii")
+        return puzzle_prefix(
+            self.version,
+            self.seed,
+            self.timestamp,
+            self.difficulty,
+            self.algorithm,
+            client_ip,
+        )
 
     def signing_payload(self, client_ip: str) -> bytes:
         """Bytes covered by the generator's HMAC tag."""

@@ -27,7 +27,14 @@ SEED_BYTES = 16
 
 @runtime_checkable
 class SeedSource(Protocol):
-    """Anything that yields fresh, never-repeating puzzle seeds."""
+    """Anything that yields fresh, never-repeating puzzle seeds.
+
+    Sources may additionally expose ``next_seeds(count) -> list[bytes]``
+    to hand out many seeds in one call; the generator's batch path uses
+    it when present (and falls back to looping ``next_seed``), so the
+    method is deliberately *not* part of the protocol — third-party
+    sources satisfying the scalar contract keep working.
+    """
 
     def next_seed(self) -> bytes:
         """Return ``SEED_BYTES`` bytes, unique across the source's life."""
@@ -43,6 +50,16 @@ class SystemSeedSource:
 
     def next_seed(self) -> bytes:
         return secrets.token_bytes(SEED_BYTES)
+
+    def next_seeds(self, count: int) -> list[bytes]:
+        """``count`` fresh seeds from one CSPRNG draw (amortised)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        buffer = secrets.token_bytes(SEED_BYTES * count)
+        return [
+            buffer[i * SEED_BYTES : (i + 1) * SEED_BYTES]
+            for i in range(count)
+        ]
 
 
 class SequentialSeedSource:
@@ -62,6 +79,12 @@ class SequentialSeedSource:
         self._next += 1
         return seed
 
+    def next_seeds(self, count: int) -> list[bytes]:
+        """``count`` consecutive seeds (same stream as ``next_seed``)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.next_seed() for _ in range(count)]
+
 
 class CountingSeedSource:
     """Wraps another source and counts how many seeds were drawn.
@@ -76,3 +99,13 @@ class CountingSeedSource:
     def next_seed(self) -> bytes:
         self.count += 1
         return self._inner.next_seed()
+
+    def next_seeds(self, count: int) -> list[bytes]:
+        """Draw ``count`` seeds, preferring the inner source's bulk path."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.count += count
+        bulk = getattr(self._inner, "next_seeds", None)
+        if bulk is not None:
+            return bulk(count)
+        return [self._inner.next_seed() for _ in range(count)]

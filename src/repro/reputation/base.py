@@ -3,13 +3,21 @@
 Concrete models (DAbR, k-NN, ensembles) share the same life-cycle:
 construct → :meth:`fit` on a corpus → :meth:`score` feature mappings.
 :class:`BaseReputationModel` centralises schema handling, the
-fitted-state guard, and score clamping so each model only implements its
-``_score_vector``.
+fitted-state guard, and score clamping so each model only implements
+one scoring hook: ``_score_vector`` (one normalised vector at a time)
+or ``_score_matrix`` (a whole normalised matrix at once).
+
+Implementing either hook makes both the scalar and the batch API work:
+``_score_matrix`` falls back to looping ``_score_vector`` (so
+third-party subclasses written against the original scalar hook keep
+working), and ``_score_vector`` falls back to scoring a one-row matrix
+(so the shipped vectorised models produce bit-identical scores on both
+paths — the scalar path *is* the batch path with n = 1).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -18,7 +26,12 @@ from repro.core.records import ClientRequest
 from repro.reputation.dataset import ThreatIntelCorpus
 from repro.reputation.features import DEFAULT_SCHEMA, FeatureSchema
 
-__all__ = ["BaseReputationModel", "clamp_score"]
+__all__ = [
+    "BaseReputationModel",
+    "clamp_score",
+    "model_score_batch",
+    "model_score_requests",
+]
 
 #: Reputation scores are confined to the paper's [0, 10] scale.
 SCORE_LOW = 0.0
@@ -30,13 +43,46 @@ def clamp_score(score: float) -> float:
     return min(max(float(score), SCORE_LOW), SCORE_HIGH)
 
 
+def model_score_batch(model, features: np.ndarray) -> np.ndarray:
+    """Score a raw feature matrix through ``model``, batch if it can.
+
+    Uses the model's ``score_batch`` when present; otherwise loops the
+    scalar :meth:`score` over rows converted back to mappings via the
+    model's schema (``DEFAULT_SCHEMA`` when it declares none).  Lets
+    ensembles and wrappers compose third-party scalar-only models into
+    the batch pipeline.
+    """
+    batch = getattr(model, "score_batch", None)
+    if batch is not None:
+        return np.asarray(batch(features), dtype=np.float64)
+    schema = getattr(model, "schema", None) or DEFAULT_SCHEMA
+    matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    return np.array(
+        [model.score(schema.to_mapping(row)) for row in matrix],
+        dtype=np.float64,
+    )
+
+
+def model_score_requests(
+    model, requests: Sequence[ClientRequest]
+) -> np.ndarray:
+    """Score requests through ``model``, batched when it supports it."""
+    batch = getattr(model, "score_requests", None)
+    if batch is not None:
+        return np.asarray(batch(requests), dtype=np.float64)
+    return np.array(
+        [model.score_request(request) for request in requests],
+        dtype=np.float64,
+    )
+
+
 class BaseReputationModel:
     """Template base class for reputation scorers.
 
-    Subclasses implement :meth:`_fit` (consume the corpus) and
-    :meth:`_score_vector` (score one *normalised* feature vector); the
-    base class handles vectorisation, normalisation, the not-fitted
-    guard, and clamping to [0, 10].
+    Subclasses implement :meth:`_fit` (consume the corpus) and one of
+    :meth:`_score_vector` / :meth:`_score_matrix`; the base class
+    handles vectorisation, normalisation, the not-fitted guard, and
+    clamping to [0, 10] on both the scalar and the batch path.
     """
 
     #: Overridden by subclasses with a short registry-friendly name.
@@ -82,9 +128,34 @@ class BaseReputationModel:
         """Score the features attached to a :class:`ClientRequest`."""
         return self.score(request.features)
 
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        """Scores for a raw ``(n, k)`` feature matrix, clamped to [0, 10].
+
+        ``features`` holds *unnormalised* feature rows in schema column
+        order (what :meth:`FeatureSchema.vectorize_batch` produces).
+        For the shipped models this is one vectorised pass — the hot
+        path of :meth:`AIPoWFramework.challenge_batch`.
+        """
+        if not self._fitted:
+            raise ModelNotFittedError(
+                f"{type(self).__name__} must be fit() before scoring"
+            )
+        matrix = self.schema.normalize(features)
+        return np.clip(self._score_matrix(matrix), SCORE_LOW, SCORE_HIGH)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        """Vector of scores for a sequence of :class:`ClientRequest`."""
+        return self.score_batch(
+            self.schema.vectorize_batch(
+                [request.features for request in requests]
+            )
+        )
+
     def score_many(self, rows) -> np.ndarray:
         """Vector of scores for an iterable of feature mappings."""
-        return np.array([self.score(row) for row in rows])
+        return self.score_batch(self.schema.vectorize_batch(rows))
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -93,4 +164,26 @@ class BaseReputationModel:
         raise NotImplementedError
 
     def _score_vector(self, vector: np.ndarray) -> float:
-        raise NotImplementedError
+        """Score one *normalised* vector; default defers to the matrix hook.
+
+        Routing the scalar path through :meth:`_score_matrix` is what
+        guarantees bit-identical scores between ``score`` and
+        ``score_batch`` for models that implement the matrix hook.
+        """
+        if type(self)._score_matrix is BaseReputationModel._score_matrix:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _score_vector "
+                "or _score_matrix"
+            )
+        return float(self._score_matrix(vector[np.newaxis, :])[0])
+
+    def _score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Score each row of a *normalised* matrix; default loops rows."""
+        if type(self)._score_vector is BaseReputationModel._score_vector:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _score_vector "
+                "or _score_matrix"
+            )
+        return np.array(
+            [self._score_vector(row) for row in matrix], dtype=np.float64
+        )

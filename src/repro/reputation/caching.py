@@ -16,10 +16,13 @@ behavioural signal.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest
+from repro.reputation.base import model_score_batch, model_score_requests
 
 __all__ = ["CachedModel"]
 
@@ -79,6 +82,78 @@ class CachedModel:
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
         return score
+
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        """Feature-level scoring has no IP key: always delegates."""
+        return model_score_batch(self.inner, features)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        """Batch variant of :meth:`score_request` with one inner call.
+
+        Walks the batch in arrival order resolving cache hits, then
+        scores all misses through the inner model in a single batch and
+        replays the insert/evict updates in the same order the scalar
+        loop would have.  A repeated address later in the batch counts
+        as a hit on the score its first occurrence is about to compute
+        (matching the scalar loop, where the first occurrence has
+        already populated the cache), unless the gap between their
+        timestamps exceeds the TTL.
+
+        Hits are resolved against pre-batch cache state, which only
+        matches the scalar loop's interleaved inserts when no eviction
+        can fire mid-batch; when the batch could overflow
+        ``max_entries`` the method falls back to the scalar loop so the
+        two paths stay exactly equivalent under cache pressure too.
+        """
+        if len(self._cache) + len(requests) > self.max_entries:
+            return np.array(
+                [self.score_request(request) for request in requests],
+                dtype=np.float64,
+            )
+        scores = np.empty(len(requests), dtype=np.float64)
+        miss_indices: list[int] = []
+        miss_waiters: list[list[int]] = []
+        # ip -> (timestamp of the latest pending miss, its waiter list)
+        pending: dict[str, tuple[float, list[int]]] = {}
+        for i, request in enumerate(requests):
+            now = request.timestamp
+            ip = request.client_ip
+            waiting = pending.get(ip)
+            if waiting is not None and now - waiting[0] <= self.ttl:
+                self.hits += 1
+                waiting[1].append(i)
+                continue
+            entry = self._cache.get(ip)
+            if entry is not None:
+                cached_at, score = entry
+                if now - cached_at <= self.ttl:
+                    self._cache.move_to_end(ip)
+                    self.hits += 1
+                    scores[i] = score
+                    continue
+                del self._cache[ip]
+            self.misses += 1
+            miss_indices.append(i)
+            waiters: list[int] = []
+            miss_waiters.append(waiters)
+            pending[ip] = (now, waiters)
+        if miss_indices:
+            fresh = model_score_requests(
+                self.inner, [requests[i] for i in miss_indices]
+            )
+            for i, waiters, value in zip(miss_indices, miss_waiters, fresh):
+                request = requests[i]
+                score = float(value)
+                scores[i] = score
+                self._cache[request.client_ip] = (request.timestamp, score)
+                self._cache.move_to_end(request.client_ip)
+                while len(self._cache) > self.max_entries:
+                    self._cache.popitem(last=False)
+                for j in waiters:
+                    scores[j] = score
+        return scores
 
     def invalidate(self, client_ip: str | None = None) -> None:
         """Drop one address's entry, or the whole cache when None."""

@@ -103,9 +103,12 @@ class DAbRModel(BaseReputationModel):
         # A degenerate single-point cluster still needs a usable scale.
         self._scale = max(scale, 1e-6)
 
-    def _score_vector(self, vector: np.ndarray) -> float:
+    def _score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        # One vectorised pass; the scalar path scores a one-row matrix
+        # through this same code, so both paths are bit-identical.
         assert self._centroid is not None  # guarded by BaseReputationModel
-        distance = float(np.linalg.norm(vector - self._centroid))
+        diff = matrix - self._centroid
+        distance = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         return 10.0 / (1.0 + (distance / self._scale) ** self.gamma)
 
     def distance(self, features) -> float:

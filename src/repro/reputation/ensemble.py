@@ -9,6 +9,12 @@ protocol, so the framework can consume an ensemble exactly like DAbR:
 * :class:`NoisyModel` — adds bounded noise to a base model, used by the
   benches to study how policy choice copes with AI-model error (the
   motivation for the paper's Policy 3).
+
+All wrappers also implement the batch scoring API (``score_batch`` for
+raw feature matrices, ``score_requests`` for request sequences) by
+batching through each member when it supports it and looping otherwise,
+so ensembles slot into :meth:`AIPoWFramework.challenge_batch` without
+losing the vectorised members' speed.
 """
 
 from __future__ import annotations
@@ -16,11 +22,25 @@ from __future__ import annotations
 import random
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest
-from repro.reputation.base import clamp_score
+from repro.reputation.base import (
+    SCORE_HIGH,
+    SCORE_LOW,
+    clamp_score,
+    model_score_batch,
+    model_score_requests,
+)
 
 __all__ = ["AverageEnsemble", "MaxEnsemble", "NoisyModel", "ConstantModel"]
+
+
+def _batch_length(features: np.ndarray) -> int:
+    """Row count of a raw feature matrix (a lone vector counts as 1)."""
+    features = np.asarray(features)
+    return features.shape[0] if features.ndim > 1 else 1
 
 
 class ConstantModel:
@@ -43,6 +63,14 @@ class ConstantModel:
 
     def score_request(self, request: ClientRequest) -> float:
         return self.value
+
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        return np.full(_batch_length(features), self.value)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        return np.full(len(requests), self.value)
 
 
 class AverageEnsemble:
@@ -81,6 +109,22 @@ class AverageEnsemble:
     def score_request(self, request: ClientRequest) -> float:
         return self.score(request.features)
 
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        total = sum(
+            w * model_score_batch(m, features)
+            for m, w in zip(self._members, self._weights)
+        )
+        return np.clip(total / sum(self._weights), SCORE_LOW, SCORE_HIGH)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        total = sum(
+            w * model_score_requests(m, requests)
+            for m, w in zip(self._members, self._weights)
+        )
+        return np.clip(total / sum(self._weights), SCORE_LOW, SCORE_HIGH)
+
 
 class MaxEnsemble:
     """Fail-closed ensemble: the highest (worst) member score wins."""
@@ -101,13 +145,29 @@ class MaxEnsemble:
     def score_request(self, request: ClientRequest) -> float:
         return self.score(request.features)
 
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        stacked = np.maximum.reduce(
+            [model_score_batch(m, features) for m in self._members]
+        )
+        return np.clip(stacked, SCORE_LOW, SCORE_HIGH)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        stacked = np.maximum.reduce(
+            [model_score_requests(m, requests) for m in self._members]
+        )
+        return np.clip(stacked, SCORE_LOW, SCORE_HIGH)
+
 
 class NoisyModel:
     """Wraps a model and perturbs its scores with uniform noise ±ε.
 
     Models the scoring error the DAbR paper reports; Policy 3's
     error-range mapping exists precisely to absorb this.  Noise is drawn
-    from the provided RNG so experiments stay reproducible.
+    from the provided RNG so experiments stay reproducible; the batch
+    path draws one value per row in row order, consuming the RNG exactly
+    like the equivalent scalar loop.
     """
 
     def __init__(
@@ -126,9 +186,25 @@ class NoisyModel:
     def name(self) -> str:
         return f"noisy({self._inner.name},eps={self.epsilon:g})"
 
+    def _noise(self, count: int) -> np.ndarray:
+        uniform = self._rng.uniform
+        return np.array(
+            [uniform(-self.epsilon, self.epsilon) for _ in range(count)]
+        )
+
     def score(self, features: Mapping[str, float]) -> float:
         noise = self._rng.uniform(-self.epsilon, self.epsilon)
         return clamp_score(self._inner.score(features) + noise)
 
     def score_request(self, request: ClientRequest) -> float:
         return self.score(request.features)
+
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        base = model_score_batch(self._inner, features)
+        return np.clip(base + self._noise(len(base)), SCORE_LOW, SCORE_HIGH)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        base = model_score_requests(self._inner, requests)
+        return np.clip(base + self._noise(len(base)), SCORE_LOW, SCORE_HIGH)

@@ -77,6 +77,9 @@ class FeatureSchema:
             raise ValueError(f"duplicate feature names in schema: {names}")
         self._specs = specs
         self._index = {spec.name: i for i, spec in enumerate(specs)}
+        self._lows = np.array([s.low for s in specs], dtype=np.float64)
+        self._highs = np.array([s.high for s in specs], dtype=np.float64)
+        self._spans = np.array([s.span for s in specs], dtype=np.float64)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -126,6 +129,36 @@ class FeatureSchema:
             return np.empty((0, len(self._specs)), dtype=np.float64)
         return np.stack(vectors)
 
+    def vectorize_batch(self, rows) -> np.ndarray:
+        """Vectorise many feature mappings in one pass.
+
+        Semantically identical to :meth:`vectorize_many` — same result,
+        same :class:`FeatureSchemaError` conditions — but validation is
+        amortised over the whole batch instead of paid per element,
+        which is what makes the framework's batch admission path cheap.
+        Any row that fails the fast checks is re-validated through
+        :meth:`vectorize` so error messages stay exact.
+        """
+        rows = list(rows)
+        if not rows:
+            return np.empty((0, len(self._specs)), dtype=np.float64)
+        names = self.names
+        width = len(names)
+        try:
+            out = np.array(
+                [[row[name] for name in names] for row in rows],
+                dtype=np.float64,
+            )
+        except (KeyError, TypeError, ValueError):
+            return self.vectorize_many(rows)  # raises the precise error
+        if (
+            any(len(row) != width for row in rows)
+            or not np.isfinite(out).all()
+            or ((out < self._lows) | (out > self._highs)).any()
+        ):
+            return self.vectorize_many(rows)  # raises the precise error
+        return out
+
     def normalize(self, matrix: np.ndarray) -> np.ndarray:
         """Scale columns into [0, 1] using each spec's declared range.
 
@@ -137,9 +170,7 @@ class FeatureSchema:
             raise FeatureSchemaError(
                 f"expected {len(self._specs)} columns, got {matrix.shape[1]}"
             )
-        lows = np.array([s.low for s in self._specs])
-        spans = np.array([s.span for s in self._specs])
-        return (matrix - lows) / spans
+        return (matrix - self._lows) / self._spans
 
     def to_mapping(self, vector: np.ndarray) -> dict[str, float]:
         """Inverse of :meth:`vectorize` for one row."""

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.events import EventBus, EventKind, FrameworkEvent
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest, ResponseStatus, ServedResponse
-from repro.reputation.base import clamp_score
+from repro.reputation.base import clamp_score, model_score_requests
 
 __all__ = ["FeedbackConfig", "FeedbackReputationModel"]
 
@@ -115,6 +117,19 @@ class FeedbackReputationModel:
         base = self.base.score_request(request)
         offset = self.offset_for(request.client_ip, now=request.timestamp)
         return clamp_score(base + offset)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        """Batch variant: base scores batched, offsets applied per IP."""
+        base = model_score_requests(self.base, requests)
+        scores = np.empty(len(base), dtype=np.float64)
+        for i, (request, value) in enumerate(zip(requests, base)):
+            offset = self.offset_for(
+                request.client_ip, now=request.timestamp
+            )
+            scores[i] = clamp_score(float(value) + offset)
+        return scores
 
     # ------------------------------------------------------------------
     # Feedback plumbing

@@ -40,18 +40,35 @@ class KNNReputationModel(BaseReputationModel):
         self._matrix: np.ndarray | None = None
         self._labels: np.ndarray | None = None
 
+    #: Queries scored per inner block: bounds the (chunk, train, k)
+    #: broadcast buffer to tens of MB at production batch sizes.
+    _CHUNK = 128
+
     def _fit(self, corpus: ThreatIntelCorpus) -> None:
         self._matrix = self.schema.normalize(corpus.feature_matrix())
         self._labels = corpus.labels().astype(np.float64)
 
-    def _score_vector(self, vector: np.ndarray) -> float:
+    def _score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        # Chunked broadcast distances rather than a GEMM expansion: every
+        # operation here reduces each query row independently, so a
+        # query's score does not depend on its batch's size — the scalar
+        # path (a one-row matrix through this same code) is bit-identical
+        # to the batch path, which a BLAS matmul would not guarantee.
         assert self._matrix is not None and self._labels is not None
-        distances = np.linalg.norm(self._matrix - vector, axis=1)
-        k = min(self.k, len(distances))
-        nearest = np.argpartition(distances, k - 1)[:k]
-        # Inverse-distance weights; the epsilon keeps exact matches finite.
-        weights = 1.0 / (distances[nearest] + 1e-9)
-        malicious_fraction = float(
-            np.average(self._labels[nearest], weights=weights)
-        )
-        return 10.0 * malicious_fraction
+        train = self._matrix
+        labels = self._labels
+        k = min(self.k, train.shape[0])
+        scores = np.empty(matrix.shape[0], dtype=np.float64)
+        for start in range(0, matrix.shape[0], self._CHUNK):
+            chunk = matrix[start : start + self._CHUNK]
+            diff = chunk[:, np.newaxis, :] - train[np.newaxis, :, :]
+            distances = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            near_dist = np.take_along_axis(distances, nearest, axis=1)
+            # Inverse-distance weights; epsilon keeps exact matches finite.
+            weights = 1.0 / (near_dist + 1e-9)
+            malicious_fraction = (labels[nearest] * weights).sum(
+                axis=1
+            ) / weights.sum(axis=1)
+            scores[start : start + self._CHUNK] = 10.0 * malicious_fraction
+        return scores

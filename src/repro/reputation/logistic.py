@@ -102,9 +102,10 @@ class LogisticReputationModel(BaseReputationModel):
         self._weights = weights
         self._bias = bias
 
-    def _score_vector(self, vector: np.ndarray) -> float:
+    def _score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        # einsum (not @) keeps the per-row reduction order independent of
+        # the batch size, so the scalar path — a one-row matrix through
+        # this same code — is bit-identical to any batch containing it.
         assert self._weights is not None
-        probability = float(
-            _sigmoid(np.asarray(vector) @ self._weights + self._bias)
-        )
-        return 10.0 * probability
+        logits = np.einsum("ij,j->i", matrix, self._weights) + self._bias
+        return 10.0 * _sigmoid(logits)

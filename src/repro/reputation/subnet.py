@@ -14,12 +14,14 @@ while genuinely clean subnets are unaffected.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest
 from repro.metrics.stats import StreamingStats
-from repro.reputation.base import clamp_score
+from repro.reputation.base import clamp_score, model_score_requests
 from repro.traffic.ipaddr import subnet_of
 
 __all__ = ["SubnetAggregateModel"]
@@ -95,6 +97,31 @@ class SubnetAggregateModel:
         stats.add(base)
         self._seen_ips.setdefault(subnet, set()).add(request.client_ip)
         return clamp_score(score)
+
+    def score_requests(
+        self, requests: Sequence[ClientRequest]
+    ) -> np.ndarray:
+        """Batch variant: inner scores batched, aggregates updated in order.
+
+        The neighbourhood statistics are folded in request order, so the
+        result is identical to looping :meth:`score_request` (a repeated
+        subnet later in the batch sees the evidence its earlier members
+        contributed).
+        """
+        base = model_score_requests(self.inner, requests)
+        scores = np.empty(len(base), dtype=np.float64)
+        for i, (request, value) in enumerate(zip(requests, base)):
+            value = float(value)
+            subnet = subnet_of(request.client_ip, self.prefix)
+            aggregate = self.subnet_mean(request.client_ip)
+            score = value
+            if aggregate is not None:
+                score = max(value, self.blend * aggregate)
+            stats = self._aggregates.setdefault(subnet, StreamingStats())
+            stats.add(value)
+            self._seen_ips.setdefault(subnet, set()).add(request.client_ip)
+            scores[i] = clamp_score(score)
+        return scores
 
     def tracked_subnets(self) -> int:
         """Number of subnets with at least one observation."""

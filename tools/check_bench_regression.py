@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a pytest-benchmark JSON run against a checked-in baseline.
+
+Two modes:
+
+* check (default): ``check_bench_regression.py bench.json`` compares
+  every benchmark's median against ``BENCH_baseline.json`` and exits
+  non-zero if any exceeds ``--max-ratio`` (default 2.0) times its
+  baseline.  Benchmarks missing from either side are reported but never
+  fatal, so adding or retiring benchmarks does not break the nightly.
+* write: ``check_bench_regression.py bench.json --write-baseline
+  BENCH_baseline.json`` trims the run to a ``{name: median_seconds}``
+  mapping suitable for checking in.
+
+The baseline is a plain JSON object so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+
+def load_medians(bench_json: pathlib.Path) -> dict[str, float]:
+    """Median seconds per benchmark from a pytest-benchmark JSON file."""
+    data = json.loads(bench_json.read_text(encoding="utf-8"))
+    out: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        median = bench.get("stats", {}).get("median")
+        if name and isinstance(median, (int, float)):
+            out[name] = float(median)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", type=pathlib.Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("baseline", type=pathlib.Path, nargs="?",
+                        default=pathlib.Path(DEFAULT_BASELINE),
+                        help=f"baseline mapping (default {DEFAULT_BASELINE})")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--write-baseline", type=pathlib.Path, default=None,
+                        help="write a trimmed baseline here and exit")
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.bench_json)
+    if not current:
+        print(f"no benchmarks found in {args.bench_json}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        args.write_baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {len(current)} baseline medians to "
+              f"{args.write_baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    regressions: list[tuple[str, float, float, float]] = []
+    width = max((len(n) for n in current), default=0)
+    for name in sorted(current):
+        median = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW       {name:<{width}} {median * 1e3:10.3f} ms")
+            continue
+        ratio = median / base if base > 0 else float("inf")
+        flag = "REGRESSED" if ratio > args.max_ratio else "ok       "
+        print(f"{flag} {name:<{width}} {median * 1e3:10.3f} ms "
+              f"(baseline {base * 1e3:.3f} ms, {ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            regressions.append((name, median, base, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"MISSING   {name}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.max_ratio:.1f}x the baseline", file=sys.stderr)
+        return 1
+    print(f"\nall {len(current)} benchmarks within "
+          f"{args.max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
