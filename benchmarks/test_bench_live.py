@@ -1,0 +1,110 @@
+"""Bench: live serving through the gateway vs thread-per-connection.
+
+The acceptance gate of the serving tier: under 64 concurrent
+connections the micro-batching :class:`GatewayServer` must sustain at
+least 3x the admission throughput of the thread-per-connection
+:class:`LiveServer`, serving every request, with each issued difficulty
+identical to what scalar admission would decide for the same request.
+The pytest-benchmark variants archive the absolute round-trip numbers
+(single round each — these drive real sockets); the plain test enforces
+the ratio so it also runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ClientRequest
+from repro.net.gateway.loadgen import LoadGenerator
+from repro.net.gateway.server import GatewayServer
+from repro.net.live.server import LiveServer
+from repro.policies.linear import policy_1
+from repro.reputation.dataset import generate_corpus
+
+CONNECTIONS = 64
+REQUESTS_PER_CONNECTION = 2
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def features():
+    _, test = generate_corpus(size=4000, seed=7).split()
+    return dict(test[0].features)
+
+
+def drive(server, features) -> "LoadGenerator":
+    with server:
+        return LoadGenerator(
+            server.address,
+            connections=CONNECTIONS,
+            requests_per_connection=REQUESTS_PER_CONNECTION,
+            features=features,
+        ).run()
+
+
+def test_gateway_3x_threaded_with_scalar_parity(fitted_dabr, features):
+    """The tentpole gate: >=3x at 64 connections, scalar-parity puzzles."""
+    threaded = drive(
+        LiveServer(AIPoWFramework(fitted_dabr, policy_1())), features
+    )
+    gateway = drive(
+        GatewayServer(AIPoWFramework(fitted_dabr, policy_1())), features
+    )
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+    assert threaded.served == total, (
+        f"threaded server dropped requests: {threaded}"
+    )
+    assert gateway.served == total, (
+        f"gateway dropped requests without shedding: {gateway}"
+    )
+
+    # Parity: every difficulty the gateway's batched admission issued
+    # must equal what the scalar path decides for the same request.
+    scalar = AIPoWFramework(fitted_dabr, policy_1())
+    expected = scalar.challenge(
+        ClientRequest(
+            client_ip="127.0.0.1",
+            resource="/index.html",
+            timestamp=0.0,
+            features=features,
+        ),
+        now=0.0,
+    ).decision.difficulty
+    assert set(gateway.difficulties) == {expected}
+    assert set(threaded.difficulties) == {expected}
+
+    speedup = gateway.throughput / threaded.throughput
+    assert speedup >= MIN_SPEEDUP, (
+        f"gateway speedup {speedup:.2f}x below the {MIN_SPEEDUP:.0f}x "
+        f"floor (threaded {threaded.throughput:.0f} rps, "
+        f"gateway {gateway.throughput:.0f} rps)"
+    )
+
+
+def test_live_gateway_throughput(benchmark, fitted_dabr, features):
+    """Archive the gateway's round-trip cost under concurrent load."""
+    report = benchmark.pedantic(
+        lambda: drive(
+            GatewayServer(AIPoWFramework(fitted_dabr, policy_1())),
+            features,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.served == CONNECTIONS * REQUESTS_PER_CONNECTION
+    benchmark.extra_info["rps"] = report.throughput
+
+
+def test_live_threaded_throughput(benchmark, fitted_dabr, features):
+    """Archive the thread-per-connection baseline under the same load."""
+    report = benchmark.pedantic(
+        lambda: drive(
+            LiveServer(AIPoWFramework(fitted_dabr, policy_1())),
+            features,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.served == CONNECTIONS * REQUESTS_PER_CONNECTION
+    benchmark.extra_info["rps"] = report.throughput

@@ -1,0 +1,173 @@
+"""Experiment `thr-live`: gateway vs thread-per-connection serving.
+
+`thr-batch` showed what ``challenge_batch`` buys in-process; this
+experiment shows the same win over real sockets.  The identical load —
+``connections`` concurrent solver clients, each running full
+request → puzzle → solve → redeem exchanges through
+:class:`~repro.net.gateway.loadgen.LoadGenerator` — is driven first at
+the thread-per-connection :class:`~repro.net.live.server.LiveServer`,
+then at the micro-batching
+:class:`~repro.net.gateway.server.GatewayServer`, reporting sustained
+throughput, tail latency, and the speedup.  A final overload pass runs
+the gateway with a deliberately tiny queue so the result also records
+the shed/backpressure behaviour (counts via
+:class:`~repro.metrics.collector.GatewayMetrics`).
+
+Both servers run in-process against the same model and policy, and the
+load generator is a single event loop either way, so the comparison
+isolates the serving architecture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.results import ExperimentResult
+from repro.core.framework import AIPoWFramework
+from repro.metrics.collector import GatewayMetrics
+from repro.net.gateway.loadgen import LoadGenerator, LoadReport
+from repro.net.gateway.server import GatewayServer
+from repro.net.live.server import LiveServer
+from repro.policies.linear import policy_1
+from repro.reputation.dabr import DAbRModel
+from repro.reputation.dataset import generate_corpus
+
+__all__ = ["LiveThroughputConfig", "run_live_throughput"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LiveThroughputConfig:
+    """Parameters of the live-serving comparison."""
+
+    connections: int = 64
+    requests_per_connection: int = 4
+    max_batch: int = 64
+    batch_window: float = 0.002
+    queue_limit: int = 256
+    overload_queue_limit: int = 8
+    corpus_size: int = 3000
+    corpus_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.connections < 1:
+            raise ValueError(
+                f"connections must be >= 1, got {self.connections}"
+            )
+        if self.requests_per_connection < 1:
+            raise ValueError(
+                "requests_per_connection must be >= 1, "
+                f"got {self.requests_per_connection}"
+            )
+        if self.overload_queue_limit < 1:
+            raise ValueError(
+                "overload_queue_limit must be >= 1, "
+                f"got {self.overload_queue_limit}"
+            )
+
+
+def _drive(config: LiveThroughputConfig, server, features) -> LoadReport:
+    with server:
+        generator = LoadGenerator(
+            server.address,
+            connections=config.connections,
+            requests_per_connection=config.requests_per_connection,
+            features=features,
+        )
+        return generator.run()
+
+
+def _row(name: str, report: LoadReport) -> list:
+    p50 = report.latency_quantile(0.5) * 1e3 if report.served else 0.0
+    p95 = report.latency_quantile(0.95) * 1e3 if report.served else 0.0
+    return [
+        name,
+        report.throughput,
+        p50,
+        p95,
+        report.served,
+        report.shed,
+    ]
+
+
+def run_live_throughput(
+    config: LiveThroughputConfig | None = None,
+) -> ExperimentResult:
+    """Measure both front-ends under identical concurrent load."""
+    config = config or LiveThroughputConfig()
+    train, test = generate_corpus(
+        size=config.corpus_size, seed=config.corpus_seed
+    ).split()
+    model = DAbRModel().fit(train)
+    features = dict(test[0].features)
+
+    threaded = _drive(
+        config,
+        LiveServer(AIPoWFramework(model, policy_1())),
+        features,
+    )
+    gateway_metrics = GatewayMetrics()
+    gateway = _drive(
+        config,
+        GatewayServer(
+            AIPoWFramework(model, policy_1()),
+            max_batch=config.max_batch,
+            batch_window=config.batch_window,
+            queue_limit=config.queue_limit,
+            metrics=gateway_metrics,
+        ),
+        features,
+    )
+    overload_metrics = GatewayMetrics()
+    overload = _drive(
+        config,
+        GatewayServer(
+            AIPoWFramework(model, policy_1()),
+            max_batch=config.max_batch,
+            batch_window=config.batch_window,
+            queue_limit=config.overload_queue_limit,
+            metrics=overload_metrics,
+        ),
+        features,
+    )
+
+    speedup = (
+        gateway.throughput / threaded.throughput
+        if threaded.throughput > 0
+        else float("inf")
+    )
+    return ExperimentResult(
+        experiment_id="thr-live",
+        title=(
+            "Live serving throughput - thread-per-connection vs "
+            "micro-batching gateway"
+        ),
+        headers=[
+            "frontend", "rps", "p50_ms", "p95_ms", "served", "shed",
+        ],
+        rows=[
+            _row("threaded", threaded),
+            _row("gateway", gateway),
+            _row(
+                f"gateway (queue<={config.overload_queue_limit})", overload
+            ),
+        ],
+        notes=[
+            f"{config.connections} concurrent connections x "
+            f"{config.requests_per_connection} exchanges each, "
+            "same model/policy/load generator for every front-end",
+            f"gateway speedup: {speedup:.1f}x "
+            f"(mean batch {gateway_metrics.mean_batch_size:.1f}, "
+            f"max queue depth {gateway_metrics.max_queue_depth:.0f})",
+            f"overload pass shed {overload.shed} of "
+            f"{overload.attempted} requests "
+            f"({overload_metrics.shed_count} shed events recorded)",
+        ],
+        extra={
+            "speedup": speedup,
+            "threaded_rps": threaded.throughput,
+            "gateway_rps": gateway.throughput,
+            "gateway_mean_batch": gateway_metrics.mean_batch_size,
+            "overload_shed": overload.shed,
+            "overload_shed_events": overload_metrics.shed_count,
+        },
+    )

@@ -64,9 +64,16 @@ def _batch_throughput_result() -> ExperimentResult:
     return run_batch_throughput()
 
 
+def _live_throughput_result() -> ExperimentResult:
+    from repro.bench.live import run_live_throughput
+
+    return run_live_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
+EXPERIMENTS["thr-live"] = _live_throughput_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

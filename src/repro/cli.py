@@ -70,6 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8377)
     serve.add_argument("--policy", default="policy-2")
+    serve.add_argument(
+        "--gateway", action="store_true",
+        help="serve through the async micro-batching admission gateway "
+             "instead of one thread per connection",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="gateway: max time a batch waits for company (default 2 ms)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="gateway: flush as soon as this many requests queue",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="gateway: bound on queued admissions before shedding",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=("drop-newest", "drop-reputation"),
+        default="drop-newest",
+        help="gateway: victim selection when the queue is full",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="closed-form policy comparison and synthesis"
@@ -217,7 +239,6 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.framework import AIPoWFramework
-    from repro.net.live.server import LiveServer
     from repro.policies import POLICY_REGISTRY
     from repro.reputation.dabr import DAbRModel
     from repro.reputation.dataset import generate_corpus
@@ -226,17 +247,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     framework = AIPoWFramework(
         DAbRModel().fit(train), POLICY_REGISTRY.create(args.policy)
     )
-    server = LiveServer(framework, host=args.host, port=args.port)
+    if args.gateway:
+        from repro.metrics.collector import GatewayMetrics
+        from repro.net.gateway import (
+            DropByReputationPrior,
+            DropNewest,
+            GatewayServer,
+        )
+
+        shed_policy = (
+            DropByReputationPrior()
+            if args.shed_policy == "drop-reputation"
+            else DropNewest()
+        )
+        metrics = GatewayMetrics()
+        server = GatewayServer(
+            framework,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window=args.batch_window,
+            queue_limit=args.queue_limit,
+            shed_policy=shed_policy,
+            metrics=metrics,
+        )
+        mode = (
+            f"gateway (batch<={args.max_batch}, "
+            f"window {args.batch_window * 1000:g} ms, "
+            f"queue<={args.queue_limit}, {shed_policy.name})"
+        )
+    else:
+        from repro.net.live.server import LiveServer
+
+        metrics = None
+        server = LiveServer(framework, host=args.host, port=args.port)
+        mode = "thread-per-connection"
     with server:
         host, port = server.address
         print(f"serving AI-assisted PoW on {host}:{port} "
-              f"(policy {args.policy}); Ctrl-C to stop")
+              f"(policy {args.policy}, {mode}); Ctrl-C to stop",
+              flush=True)
         try:
             import threading
 
             threading.Event().wait()
         except KeyboardInterrupt:
             print("\nshutting down")
+            if metrics is not None:
+                print(
+                    f"admitted {metrics.admitted_count} in "
+                    f"{len(metrics.batch_sizes)} batches "
+                    f"(mean size {metrics.mean_batch_size:.1f}), "
+                    f"shed {metrics.shed_count}"
+                )
     return 0
 
 

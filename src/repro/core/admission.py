@@ -61,12 +61,24 @@ class TokenBucket:
         return False
 
 
+def _refill_eta(bucket: TokenBucket) -> float:
+    """Seconds until ``bucket`` accrues one whole token."""
+    return max(0.0, (1.0 - bucket.tokens) / bucket.rate)
+
+
 @dataclasses.dataclass(frozen=True, slots=True)
 class AdmissionDecision:
-    """Outcome of one admission check."""
+    """Outcome of one admission check.
+
+    ``retry_after`` is a hint, in seconds, for when the dropping bucket
+    will next have a token — transports that can express it (the WSGI
+    middleware's ``Retry-After`` header) relay it to the client; 0.0
+    for admitted requests.
+    """
 
     admitted: bool
     reason: str
+    retry_after: float = 0.0
 
 
 class AdmissionControl:
@@ -126,10 +138,14 @@ class AdmissionControl:
 
         if not bucket.consume(now):
             self.dropped_count += 1
-            return AdmissionDecision(False, "per-ip rate exceeded")
+            return AdmissionDecision(
+                False, "per-ip rate exceeded", _refill_eta(bucket)
+            )
         if not self._global.consume(now):
             self.dropped_count += 1
-            return AdmissionDecision(False, "global rate exceeded")
+            return AdmissionDecision(
+                False, "global rate exceeded", _refill_eta(self._global)
+            )
         self.admitted_count += 1
         return AdmissionDecision(True, "admitted")
 

@@ -23,6 +23,7 @@ class EventKind(enum.Enum):
     """Pipeline stages at which the framework emits events."""
 
     REQUEST_RECEIVED = "request_received"
+    REQUEST_SHED = "request_shed"
     SCORED = "scored"
     POLICY_APPLIED = "policy_applied"
     PUZZLE_ISSUED = "puzzle_issued"

@@ -1,6 +1,10 @@
 """Metrics substrate: streaming stats, quantiles, collectors, reports."""
 
-from repro.metrics.collector import ClassMetrics, MetricsCollector
+from repro.metrics.collector import (
+    ClassMetrics,
+    GatewayMetrics,
+    MetricsCollector,
+)
 from repro.metrics.histogram import LatencyHistogram, SampleSet
 from repro.metrics.reporting import ascii_chart, render_series, render_table
 from repro.metrics.stats import StreamingStats
@@ -14,6 +18,7 @@ __all__ = [
     "LatencyHistogram",
     "MetricsCollector",
     "ClassMetrics",
+    "GatewayMetrics",
     "render_table",
     "render_series",
     "ascii_chart",

@@ -6,6 +6,12 @@ per-class measurements: latency sample sets, difficulty distribution,
 score distribution, and outcome counters.  A *classifier* callable maps
 each response to a breakdown key (e.g. profile name, "benign"/"attack"),
 enabling the throttling experiment's per-class latency comparison.
+
+:class:`GatewayMetrics` covers the serving tier the collector cannot
+see: admission-queue depth, the batch-size distribution the
+micro-batcher actually achieved, and shed counters broken down by
+reason — fed directly by the gateway plus ``REQUEST_SHED`` events off
+the same bus.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from repro.core.records import ResponseStatus, ServedResponse
 from repro.metrics.histogram import SampleSet
 from repro.metrics.stats import StreamingStats
 
-__all__ = ["MetricsCollector", "ClassMetrics"]
+__all__ = ["MetricsCollector", "ClassMetrics", "GatewayMetrics"]
 
 Classifier = Callable[[ServedResponse], str]
 
@@ -109,3 +115,69 @@ class MetricsCollector:
     def for_class(self, key: str) -> ClassMetrics:
         """Metrics for one breakdown class; empty metrics if unseen."""
         return self._class(key)
+
+
+class GatewayMetrics:
+    """Serving-tier measurements for the admission gateway.
+
+    The gateway reports every flush (:meth:`observe_flush`) and every
+    shed decision (:meth:`observe_shed`); alternatively
+    :meth:`attach` subscribes the shed side to ``REQUEST_SHED`` events
+    so any bus observer sees the same stream the metrics do.
+    """
+
+    def __init__(self) -> None:
+        self.batch_sizes = SampleSet()
+        self.queue_depths = SampleSet()
+        self.shed_reasons: dict[str, int] = {}
+        self.admitted_count = 0
+        self.shed_count = 0
+
+    def attach(self, bus: EventBus) -> "GatewayMetrics":
+        """Subscribe to REQUEST_SHED events on ``bus``; returns self."""
+        bus.subscribe(self._on_event, kinds=[EventKind.REQUEST_SHED])
+        return self
+
+    def _on_event(self, event: FrameworkEvent) -> None:
+        reason = event.payload.get("reason")
+        depth = event.payload.get("queue_depth")
+        self.observe_shed(
+            str(reason or "unspecified"),
+            queue_depth=depth if isinstance(depth, (int, float)) else None,
+        )
+
+    def observe_flush(
+        self,
+        batch_size: int,
+        queue_depth: int,
+        admitted: int | None = None,
+    ) -> None:
+        """Record one admission batch and the depth it drained from.
+
+        ``admitted`` is the number of requests that actually received a
+        challenge; it defaults to ``batch_size`` but callers whose
+        batches can partially fail (the gateway's scalar fallback)
+        pass the true count.
+        """
+        self.batch_sizes.add(batch_size)
+        self.queue_depths.add(queue_depth)
+        self.admitted_count += batch_size if admitted is None else admitted
+
+    def observe_shed(
+        self, reason: str, queue_depth: int | float | None = None
+    ) -> None:
+        """Record one shed request (optionally with the depth seen)."""
+        self.shed_count += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        if queue_depth is not None:
+            self.queue_depths.add(float(queue_depth))
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average achieved batch size (0.0 before the first flush)."""
+        return self.batch_sizes.mean() if len(self.batch_sizes) else 0.0
+
+    @property
+    def max_queue_depth(self) -> float:
+        """Deepest queue observed (0.0 before the first observation)."""
+        return self.queue_depths.max() if len(self.queue_depths) else 0.0

@@ -1,0 +1,31 @@
+"""Async admission gateway: the micro-batching serving tier.
+
+The event-loop front-end that makes the vectorised
+``challenge_batch`` admission path reachable by real concurrent
+traffic — plus the bounded-queue/shedding overload behaviour a flood
+defense must itself exhibit, and the load-generation client that
+measures it.  See DESIGN.md §1.2.
+"""
+
+from repro.net.gateway.accumulator import MicroBatcher
+from repro.net.gateway.loadgen import LoadGenerator, LoadReport
+from repro.net.gateway.server import GatewayServer
+from repro.net.gateway.shedding import (
+    DropByReputationPrior,
+    DropNewest,
+    PendingAdmission,
+    ShedOutcome,
+    ShedPolicy,
+)
+
+__all__ = [
+    "GatewayServer",
+    "MicroBatcher",
+    "LoadGenerator",
+    "LoadReport",
+    "ShedPolicy",
+    "ShedOutcome",
+    "DropNewest",
+    "DropByReputationPrior",
+    "PendingAdmission",
+]

@@ -1,0 +1,339 @@
+"""Asyncio admission gateway: micro-batched serving of the live protocol.
+
+:class:`GatewayServer` is the event-loop replacement for the
+thread-per-connection :class:`~repro.net.live.server.LiveServer`.  It
+speaks the identical line protocol — an unmodified
+:class:`~repro.net.live.client.LiveClient` works against either — but
+admits concurrent arrivals through the
+:class:`~repro.net.gateway.accumulator.MicroBatcher`: requests landing
+within one batching window are coalesced and driven through
+:meth:`AIPoWFramework.challenge_batch` (the ~7x vectorised admission
+path), while ``verify``/``redeem`` stays on the fast scalar path since
+each solution hashes a distinct nonce anyway.
+
+Overload behaviour is part of the contract, not an accident: the
+admission queue is bounded, a pluggable shed policy picks victims when
+it fills, shed requests get an explicit ``ERR shed: ...`` reply, and
+every shed emits a ``REQUEST_SHED`` event through the framework's
+:class:`~repro.core.events.EventBus` plus counters/histograms into an
+optional :class:`~repro.metrics.collector.GatewayMetrics`.
+
+Threading model: :meth:`start` runs the event loop on one background
+thread and all framework calls happen on that thread, so — unlike the
+threaded server — the shared replay cache and RNG need no lock.  The
+public facade (``start``/``stop``/context manager/``address``) matches
+``LiveServer`` so the two front-ends are drop-in interchangeable in
+tests, benchmarks, and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+
+from repro.core.errors import ProtocolError, ReproError
+from repro.core.events import EventKind
+from repro.core.framework import AIPoWFramework, Challenge
+from repro.core.records import ClientRequest
+from repro.metrics.collector import GatewayMetrics
+from repro.net.gateway.accumulator import MicroBatcher
+from repro.net.gateway.shedding import (
+    PendingAdmission,
+    ShedOutcome,
+    ShedPolicy,
+)
+from repro.net.live import protocol
+from repro.pow.puzzle import Solution
+
+__all__ = ["GatewayServer"]
+
+
+class GatewayServer:
+    """Micro-batching TCP front-end for the framework.
+
+    Use exactly like :class:`~repro.net.live.server.LiveServer`::
+
+        with GatewayServer(framework, max_batch=64) as server:
+            body = LiveClient(server.address).fetch("/index.html", {})
+
+    Parameters
+    ----------
+    framework:
+        The configured pipeline to expose.  The gateway owns its use:
+        all calls run on the gateway's event-loop thread.
+    host / port:
+        Bind address; port 0 picks a free port.
+    max_batch / batch_window / queue_limit / shed_policy:
+        Accumulator tuning; see
+        :class:`~repro.net.gateway.accumulator.MicroBatcher`.
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionControl`
+        pre-filter, checked before enqueueing — same semantics and
+        ``ERR admission: ...`` reply as the threaded server.
+    io_timeout:
+        Per-connection timeout for each read, in seconds.
+    metrics:
+        Optional :class:`~repro.metrics.collector.GatewayMetrics`
+        receiving queue depths, batch sizes and shed counts.
+    """
+
+    def __init__(
+        self,
+        framework: AIPoWFramework,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        queue_limit: int = 256,
+        shed_policy: ShedPolicy | None = None,
+        admission=None,
+        io_timeout: float = 30.0,
+        metrics: GatewayMetrics | None = None,
+    ) -> None:
+        if io_timeout <= 0:
+            raise ValueError(f"io_timeout must be > 0, got {io_timeout}")
+        self.framework = framework
+        self.host = host
+        self.port = port
+        self.io_timeout = io_timeout
+        self.admission = admission
+        self.metrics = metrics
+        self.responses: deque = deque(maxlen=10_000)
+        self.batcher = MicroBatcher(
+            self._admit_batch,
+            max_batch=max_batch,
+            batch_window=batch_window,
+            queue_limit=queue_limit,
+            shed_policy=shed_policy,
+            on_shed=self._on_shed,
+            on_flush=self._on_flush,
+        )
+        self._address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Accumulator hooks (all run on the event-loop thread)
+    # ------------------------------------------------------------------
+    def _admit_batch(
+        self, requests: list[ClientRequest]
+    ) -> list[Challenge | ReproError]:
+        try:
+            return self.framework.challenge_batch(requests)
+        except ReproError:
+            # One bad request (e.g. feature-schema mismatch) must not
+            # poison its co-batched neighbours: re-admit the batch
+            # scalar, isolating the failure to the offender.  Events
+            # for stages the batch attempt already passed are re-emitted
+            # by the retry; only this failure path pays that.
+            results: list[Challenge | ReproError] = []
+            for request in requests:
+                try:
+                    results.append(self.framework.challenge(request))
+                except ReproError as exc:
+                    results.append(exc)
+            return results
+
+    def _on_shed(
+        self, pending: PendingAdmission, reason: str, queue_depth: int
+    ) -> None:
+        self.framework.events.emit(
+            EventKind.REQUEST_SHED,
+            time.time(),
+            request=pending.request,
+            reason=reason,
+            policy=self.batcher.shed_policy.name,
+            queue_depth=queue_depth,
+        )
+        if self.metrics is not None:
+            self.metrics.observe_shed(reason, queue_depth=queue_depth)
+
+    def _on_flush(
+        self, batch_size: int, queue_depth: int, results: list
+    ) -> None:
+        if self.metrics is not None:
+            # The scalar-fallback path returns ReproError entries for
+            # requests whose admission failed; only real challenges
+            # count as admitted.
+            admitted = sum(
+                1 for result in results if not isinstance(result, Exception)
+            )
+            self.metrics.observe_flush(
+                batch_size, queue_depth, admitted=admitted
+            )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _read(self, reader: asyncio.StreamReader) -> str:
+        return await asyncio.wait_for(
+            protocol.read_line_async(reader), self.io_timeout
+        )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._exchange(reader, writer)
+        except (ProtocolError, asyncio.TimeoutError, OSError):
+            # A malformed, slow, or dropped peer affects only itself.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):  # pragma: no cover
+                pass
+
+    async def _exchange(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        line = await self._read(reader)
+        try:
+            resource, features = protocol.parse_request(line)
+        except ProtocolError as exc:
+            await protocol.send_line_async(
+                writer, protocol.encode_err(str(exc))
+            )
+            raise
+
+        peer = writer.get_extra_info("peername")
+        client_ip = peer[0] if peer else "0.0.0.0"
+        if self.admission is not None:
+            decision = self.admission.check(client_ip, time.time())
+            if not decision.admitted:
+                await protocol.send_line_async(
+                    writer,
+                    protocol.encode_err(f"admission: {decision.reason}"),
+                )
+                return
+        request = ClientRequest(
+            client_ip=client_ip,
+            resource=resource,
+            timestamp=time.time(),
+            features=features,
+        )
+
+        outcome = await self.batcher.submit(request)
+        if isinstance(outcome, ReproError):
+            # This request failed admission; same reply the threaded
+            # server gives, and only the offender pays it.
+            await protocol.send_line_async(
+                writer, protocol.encode_err(f"challenge: {outcome}")
+            )
+            return
+        if isinstance(outcome, ShedOutcome):
+            await protocol.send_line_async(
+                writer, protocol.encode_err(f"shed: {outcome.reason}")
+            )
+            return
+        challenge: Challenge = outcome
+        await protocol.send_line_async(writer, challenge.puzzle.to_wire())
+
+        solution_line = await self._read(reader)
+        solution = Solution.from_wire(solution_line)
+        try:
+            response = self.framework.redeem(challenge, solution)
+        except ReproError as exc:
+            await protocol.send_line_async(
+                writer, protocol.encode_err(f"challenge: {exc}")
+            )
+            return
+        self.responses.append(response)
+        if response.served:
+            await protocol.send_line_async(
+                writer, protocol.encode_ok(response.body)
+            )
+        else:
+            await protocol.send_line_async(
+                writer, protocol.encode_err(response.status.value)
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self.batcher.start()
+        server = await asyncio.start_server(
+            self._handle,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES + 1,
+        )
+        self._address = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            await self.batcher.stop()
+            # Handlers woken by the shutdown shed still need loop time
+            # to deliver their `ERR shed: ...` reply before asyncio.run
+            # cancels them; give in-flight connections a short grace.
+            current = asyncio.current_task()
+            handlers = [
+                task for task in asyncio.all_tasks() if task is not current
+            ]
+            if handlers:
+                await asyncio.wait(handlers, timeout=1.0)
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        if self._address is None:
+            raise RuntimeError("gateway not started")
+        return self._address
+
+    def start(self) -> "GatewayServer":
+        """Start serving on a background event loop; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._ready.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise RuntimeError("gateway failed to start") from (
+                self._startup_error
+            )
+        if self._address is None:
+            raise RuntimeError("gateway did not come up within 10s")
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._shutdown = None
+        self._address = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

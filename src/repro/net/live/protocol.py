@@ -17,6 +17,7 @@ length cap so a hostile peer cannot balloon server memory.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 from typing import Mapping
@@ -32,6 +33,8 @@ __all__ = [
     "parse_reply",
     "read_line",
     "send_line",
+    "read_line_async",
+    "send_line_async",
 ]
 
 #: Upper bound on any single protocol line.
@@ -119,3 +122,34 @@ def send_line(sock: socket.socket, line: str) -> None:
     if "\n" in line:
         raise ProtocolError("frames must not contain newlines")
     sock.sendall(line.encode("ascii") + b"\n")
+
+
+async def read_line_async(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_LINE_BYTES
+) -> str:
+    """Read one ``\\n``-terminated line from an asyncio stream.
+
+    The asyncio counterpart of :func:`read_line`, used by the gateway:
+    same frames, same cap, same :class:`ProtocolError` on EOF mid-frame
+    or when the cap is exceeded — but buffered reads instead of the
+    blocking byte-at-a-time loop.
+    """
+    try:
+        raw = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ProtocolError("connection closed before frame") from exc
+        raise ProtocolError("connection closed mid-frame") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(f"frame exceeds {max_bytes} bytes") from exc
+    if len(raw) - 1 > max_bytes:
+        raise ProtocolError(f"frame exceeds {max_bytes} bytes")
+    return raw[:-1].decode("ascii", "replace")
+
+
+async def send_line_async(writer: asyncio.StreamWriter, line: str) -> None:
+    """Send one frame over an asyncio stream, appending the terminator."""
+    if "\n" in line:
+        raise ProtocolError("frames must not contain newlines")
+    writer.write(line.encode("ascii") + b"\n")
+    await writer.drain()

@@ -16,6 +16,7 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 
 from repro.core.errors import ProtocolError, ReproError
 from repro.core.framework import AIPoWFramework
@@ -76,13 +77,15 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         solution = Solution.from_wire(solution_line)
         with server.live.lock:
             response = server.live.framework.redeem(challenge, solution)
+        # Record before replying so a client that acts on the reply
+        # immediately (tests, health checks) already sees the log entry.
+        server.live.record(response)
         if response.served:
             protocol.send_line(sock, protocol.encode_ok(response.body))
         else:
             protocol.send_line(
                 sock, protocol.encode_err(response.status.value)
             )
-        server.live.record(response)
 
 
 class _FrameworkTCPServer(socketserver.ThreadingTCPServer):
@@ -133,7 +136,7 @@ class LiveServer:
         self.io_timeout = io_timeout
         self.admission = admission
         self.lock = threading.Lock()
-        self.responses: list = []
+        self.responses: deque = deque(maxlen=10_000)
         self._tcp = _FrameworkTCPServer((host, port), self)
         self._thread: threading.Thread | None = None
 
@@ -143,11 +146,13 @@ class LiveServer:
         return self._tcp.server_address[:2]
 
     def record(self, response) -> None:
-        """Remember a completed exchange (bounded to the last 10 000)."""
+        """Remember a completed exchange (bounded to the last 10 000).
+
+        The bound lives in the deque's ``maxlen`` so trimming is O(1)
+        per append instead of an O(n) ``del`` slice under the lock.
+        """
         with self.lock:
             self.responses.append(response)
-            if len(self.responses) > 10_000:
-                del self.responses[: len(self.responses) - 10_000]
 
     def start(self) -> "LiveServer":
         """Start serving on a background thread; returns self."""

@@ -78,6 +78,13 @@ class PowMiddleware:
         environ → feature mapping; defaults to the JSON header.
     clock:
         Time source (injectable for tests).
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionControl`
+        pre-filter — the same hook the TCP front-ends take, checked at
+        the same point in the exchange (on the challenge request,
+        before any scoring).  Dropped requests get ``429`` with a
+        ``Retry-After`` header and *no* puzzle, so both front-ends
+        shed identically.
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class PowMiddleware:
         framework: AIPoWFramework,
         feature_extractor: FeatureExtractor | None = None,
         clock: Callable[[], float] | None = None,
+        admission=None,
     ) -> None:
         import time
 
@@ -93,6 +101,7 @@ class PowMiddleware:
         self.framework = framework
         self.extract = feature_extractor or _default_extractor
         self.clock = clock or time.time
+        self.admission = admission
 
     # ------------------------------------------------------------------
     def __call__(self, environ, start_response) -> Iterable[bytes]:
@@ -126,6 +135,26 @@ class PowMiddleware:
 
     def _challenge(self, environ, start_response) -> Iterable[bytes]:
         request = self._request_from(environ)
+        if self.admission is not None:
+            decision = self.admission.check(
+                request.client_ip, request.timestamp
+            )
+            if not decision.admitted:
+                import math
+
+                body = f"admission: {decision.reason}\n".encode("ascii")
+                start_response(
+                    "429 Too Many Requests",
+                    [
+                        ("Content-Type", "text/plain"),
+                        ("Content-Length", str(len(body))),
+                        (
+                            "Retry-After",
+                            str(max(1, math.ceil(decision.retry_after))),
+                        ),
+                    ],
+                )
+                return [body]
         challenge = self.framework.challenge(request, now=request.timestamp)
         body = (
             f"proof of work required: difficulty "

@@ -23,6 +23,11 @@ class TestParser:
             ["ablations"],
             ["demo", "--score", "3"],
             ["serve", "--port", "0"],
+            [
+                "serve", "--gateway", "--batch-window", "0.001",
+                "--max-batch", "32", "--queue-limit", "128",
+                "--shed-policy", "drop-reputation",
+            ],
             ["all"],
         ],
     )

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI smoke: boot ``repro serve --gateway``, solve one puzzle, shut down.
+
+Exercises the gateway exactly the way an operator would: the CLI
+subprocess in the foreground, an unmodified
+:class:`~repro.net.live.client.LiveClient` doing one full
+request → puzzle → solve → redeem round-trip against it, then SIGINT
+and a clean-exit check.  Exits non-zero on any failure, so it can gate
+CI directly:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python tools/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+STARTUP_TIMEOUT = 120.0
+SHUTDOWN_TIMEOUT = 30.0
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    from repro.net.live.client import LiveClient
+    from repro.reputation.features import FEATURE_NAMES
+
+    # The serve CLI fits DAbR, which enforces the full feature schema.
+    features = {name: 0.0 for name in FEATURE_NAMES}
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--gateway",
+            "--port", "0", "--max-batch", "16",
+            "--batch-window", "0.002",
+        ],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # Pump stdout on a thread so a silently hung subprocess cannot
+    # block readline() past the startup deadline.
+    lines: queue.Queue = queue.Queue()
+
+    def pump() -> None:
+        for line in proc.stdout:
+            lines.put(line)
+        lines.put(None)
+
+    threading.Thread(target=pump, daemon=True).start()
+    try:
+        # The serve banner carries the bound address:
+        # "serving AI-assisted PoW on 127.0.0.1:PORT (...)".
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        banner = ""
+        while not banner:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                print(f"no serve banner within {STARTUP_TIMEOUT:.0f}s")
+                return 1
+            try:
+                line = lines.get(timeout=remaining)
+            except queue.Empty:
+                print(f"no serve banner within {STARTUP_TIMEOUT:.0f}s")
+                return 1
+            if line is None:
+                print("gateway exited before serving:", proc.poll())
+                return 1
+            print("serve:", line, end="")
+            if "serving AI-assisted PoW on " in line:
+                banner = line
+        address = banner.split(" on ", 1)[1].split()[0]
+        host, port = address.rsplit(":", 1)
+
+        result = LiveClient((host, int(port))).fetch("/healthz", features)
+        print(
+            f"round-trip: ok={result.ok} difficulty={result.difficulty} "
+            f"attempts={result.attempts} latency={result.latency:.3f}s"
+        )
+        if not result.ok or result.body != "resource:/healthz":
+            print("round-trip failed:", result)
+            return 1
+
+        proc.send_signal(signal.SIGINT)
+        try:
+            code = proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            print(f"gateway ignored SIGINT for {SHUTDOWN_TIMEOUT:.0f}s")
+            return 1
+        print("gateway exited with", code)
+        if code != 0:
+            return 1
+        print("gateway smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
