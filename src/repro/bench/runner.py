@@ -70,10 +70,17 @@ def _live_throughput_result() -> ExperimentResult:
     return run_live_throughput()
 
 
+def _shard_throughput_result() -> ExperimentResult:
+    from repro.bench.shard import run_shard_throughput
+
+    return run_shard_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
 EXPERIMENTS["thr-live"] = _live_throughput_result
+EXPERIMENTS["thr-shard"] = _shard_throughput_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

@@ -9,7 +9,12 @@ interactive modes:
 * ``throttle``  — the three-setup throttling comparison;
 * ``ablations`` — the policy/epsilon/economics ablation tables;
 * ``demo``      — one full challenge/solve/verify exchange, verbosely;
-* ``serve``     — run the live TCP server in the foreground;
+* ``serve``     — run the live TCP server in the foreground (one
+  process, or ``--workers N`` gateway worker processes sharded by
+  client-IP hash; SIGTERM drains gracefully either way);
+* ``state``     — admission-state snapshot tooling: merge a serve
+  ``--state-dir`` into one snapshot file, re-split a snapshot for a
+  different worker count, or inspect either;
 * ``all``       — every experiment, in DESIGN.md order.
 """
 
@@ -92,6 +97,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="drop-newest",
         help="gateway: victim selection when the queue is full",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="gateway worker processes, each owning one admission-state "
+             "shard routed by client-IP hash (N > 1 implies --gateway)",
+    )
+    serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="restore admission state from DIR's shard snapshots at boot "
+             "and rewrite them at graceful shutdown (gateway modes only)",
+    )
+
+    state = sub.add_parser(
+        "state", help="admission-state snapshot tooling"
+    )
+    state_sub = state.add_subparsers(dest="state_command", required=True)
+    snap = state_sub.add_parser(
+        "snapshot",
+        help="merge a serve --state-dir into one snapshot file",
+    )
+    snap.add_argument("--state-dir", required=True, metavar="DIR")
+    snap.add_argument("--out", required=True, metavar="FILE")
+    restore = state_sub.add_parser(
+        "restore",
+        help="split a snapshot file into per-shard state for --workers N",
+    )
+    restore.add_argument("--snapshot", required=True, metavar="FILE",
+                         help="merged snapshot produced by `state snapshot`")
+    restore.add_argument("--state-dir", required=True, metavar="DIR")
+    restore.add_argument("--workers", type=int, default=1, metavar="N")
+    show = state_sub.add_parser(
+        "show", help="summarise a snapshot file or a state directory"
+    )
+    show.add_argument("path", help="snapshot file or state directory")
 
     analyze = sub.add_parser(
         "analyze", help="closed-form policy comparison and synthesis"
@@ -237,29 +275,70 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if response.served else 1
 
 
+def _install_shutdown_signals() -> "threading.Event":
+    """SIGTERM/SIGINT → one shutdown event, for graceful drains."""
+    import signal
+    import threading
+
+    shutdown = threading.Event()
+
+    def _handler(_signum, _frame):
+        shutdown.set()
+
+    signal.signal(signal.SIGINT, _handler)
+    signal.signal(signal.SIGTERM, _handler)
+    return shutdown
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.core.framework import AIPoWFramework
-    from repro.policies import POLICY_REGISTRY
-    from repro.reputation.dabr import DAbRModel
-    from repro.reputation.dataset import generate_corpus
+    from repro.core.spec import FrameworkSpec
 
-    train, _ = generate_corpus(size=4000, seed=7).split()
-    framework = AIPoWFramework(
-        DAbRModel().fit(train), POLICY_REGISTRY.create(args.policy)
-    )
-    if args.gateway:
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    if args.state_dir and args.workers == 1 and not args.gateway:
+        print("--state-dir requires --gateway or --workers > 1")
+        return 2
+    spec = FrameworkSpec(policy=args.policy)
+
+    if args.workers > 1:
+        from repro.net.gateway.cluster import GatewayCluster
+
+        server = GatewayCluster(
+            spec,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window=args.batch_window,
+            queue_limit=args.queue_limit,
+            shed_policy=args.shed_policy,
+            state_dir=args.state_dir,
+        )
+        mode = (
+            f"{args.workers} gateway workers sharded by client-IP hash "
+            f"(batch<={args.max_batch}, "
+            f"window {args.batch_window * 1000:g} ms, "
+            f"queue<={args.queue_limit}, {args.shed_policy}"
+            + (f", state {args.state_dir}" if args.state_dir else "")
+            + ")"
+        )
+        metrics = None
+    elif args.gateway:
         from repro.metrics.collector import GatewayMetrics
-        from repro.net.gateway import (
-            DropByReputationPrior,
-            DropNewest,
-            GatewayServer,
-        )
+        from repro.net.gateway.cluster import make_shed_policy
+        from repro.net.gateway.server import GatewayServer
+        from repro.state import read_shard_file, write_shard_file
 
-        shed_policy = (
-            DropByReputationPrior()
-            if args.shed_policy == "drop-reputation"
-            else DropNewest()
-        )
+        framework = spec.build()
+        if args.state_dir:
+            try:
+                snapshot = read_shard_file(args.state_dir, 0, 1)
+            except ValueError as exc:
+                print(exc)
+                return 2
+            if snapshot is not None:
+                framework.restore(snapshot)
         metrics = GatewayMetrics()
         server = GatewayServer(
             framework,
@@ -268,38 +347,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             batch_window=args.batch_window,
             queue_limit=args.queue_limit,
-            shed_policy=shed_policy,
+            shed_policy=make_shed_policy(args.shed_policy),
             metrics=metrics,
         )
         mode = (
             f"gateway (batch<={args.max_batch}, "
             f"window {args.batch_window * 1000:g} ms, "
-            f"queue<={args.queue_limit}, {shed_policy.name})"
+            f"queue<={args.queue_limit}, {args.shed_policy})"
         )
     else:
         from repro.net.live.server import LiveServer
 
         metrics = None
-        server = LiveServer(framework, host=args.host, port=args.port)
+        server = LiveServer(spec.build(), host=args.host, port=args.port)
         mode = "thread-per-connection"
-    with server:
+
+    shutdown = _install_shutdown_signals()
+    try:
+        server.start()
+    except ValueError as exc:
+        # e.g. a state directory split for a different worker count.
+        print(exc)
+        return 2
+    try:
         host, port = server.address
         print(f"serving AI-assisted PoW on {host}:{port} "
-              f"(policy {args.policy}, {mode}); Ctrl-C to stop",
+              f"(policy {args.policy}, {mode}); Ctrl-C or SIGTERM to stop",
               flush=True)
-        try:
-            import threading
+        shutdown.wait()
+        print("\nshutting down")
+    finally:
+        server.stop()
+    # The stop drained the server: queued admissions resolved as shed,
+    # in-flight exchanges got their grace, workers exited 0.
+    if args.workers > 1:
+        summary = server.metrics_summary
+        print(
+            f"workers {summary.get('workers', 0)}: "
+            f"admitted {summary.get('admitted', 0)} in "
+            f"{summary.get('flushes', 0)} batches "
+            f"(mean size {summary.get('mean_batch_size', 0.0):.1f}), "
+            f"shed {summary.get('shed', 0)}"
+        )
+        if any(code not in (0, None) for code in server.exit_codes):
+            print(f"worker exit codes: {server.exit_codes}")
+            return 1
+    elif metrics is not None:
+        print(
+            f"admitted {metrics.admitted_count} in "
+            f"{len(metrics.batch_sizes)} batches "
+            f"(mean size {metrics.mean_batch_size:.1f}), "
+            f"shed {metrics.shed_count}"
+        )
+        if args.gateway and args.state_dir:
+            write_shard_file(
+                args.state_dir, 0, 1, server.framework.snapshot()
+            )
+            print(f"state written to {args.state_dir}")
+    return 0
 
-            threading.Event().wait()
-        except KeyboardInterrupt:
-            print("\nshutting down")
-            if metrics is not None:
-                print(
-                    f"admitted {metrics.admitted_count} in "
-                    f"{len(metrics.batch_sizes)} batches "
-                    f"(mean size {metrics.mean_batch_size:.1f}), "
-                    f"shed {metrics.shed_count}"
-                )
+
+def _cmd_state(args: argparse.Namespace) -> int:
+    from repro.state import (
+        load_snapshot,
+        merge_snapshots,
+        read_shard_files,
+        save_snapshot,
+        split_snapshot,
+        write_shard_files,
+    )
+
+    if args.state_command == "snapshot":
+        try:
+            shards = read_shard_files(args.state_dir)
+        except (ValueError, OSError) as exc:
+            print(exc)
+            return 2
+        if not shards:
+            print(f"no shard snapshots in {args.state_dir}")
+            return 1
+        merged = merge_snapshots(shards)
+        save_snapshot(merged, args.out)
+        entries = sum(
+            len(e) for e in merged.get("namespaces", {}).values()
+        )
+        print(
+            f"merged {len(shards)} shard(s) -> {args.out} "
+            f"({entries} entries)"
+        )
+        return 0
+
+    if args.state_command == "restore":
+        if args.workers < 1:
+            print(f"--workers must be >= 1, got {args.workers}")
+            return 2
+        try:
+            merged = load_snapshot(args.snapshot)
+            parts = split_snapshot(merged, args.workers)
+            paths = write_shard_files(args.state_dir, parts)
+        except (ValueError, OSError) as exc:
+            print(exc)
+            return 2
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    # show
+    import pathlib
+
+    path = pathlib.Path(args.path)
+    try:
+        if path.is_dir():
+            shards = read_shard_files(path)
+            if not shards:
+                print(f"no shard snapshots in {path}")
+                return 1
+            documents = [
+                (f"shard {i}", doc) for i, doc in enumerate(shards)
+            ]
+        else:
+            document = load_snapshot(path)
+            kind = document.get("kind")
+            if kind == "shard-file":
+                documents = [(
+                    f"shard {document['shard']} of {document['shards']}",
+                    document["state"],
+                )]
+            elif kind == "sharded":
+                documents = [
+                    (f"shard {i}", doc)
+                    for i, doc in enumerate(document.get("shards", []))
+                ]
+            else:
+                documents = [("snapshot", document)]
+    except (ValueError, OSError) as exc:
+        print(exc)
+        return 2
+    for label, document in documents:
+        print(f"{label}:")
+        namespaces = document.get("namespaces", {})
+        if not namespaces:
+            print("  (empty)")
+        for name, entries in namespaces.items():
+            print(f"  {name}: {len(entries)} entries")
     return 0
 
 
@@ -366,6 +556,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "demo": _cmd_demo,
     "serve": _cmd_serve,
+    "state": _cmd_state,
     "analyze": _cmd_analyze,
     "scenario": _cmd_scenario,
     "export": _cmd_export,

@@ -39,10 +39,12 @@ from repro.core.records import (
     ServedResponse,
 )
 from repro.core.registry import Registry
+from repro.core.spec import FrameworkSpec
 
 __all__ = [
     "AIPoWFramework",
     "Challenge",
+    "FrameworkSpec",
     "AdmissionControl",
     "AdmissionDecision",
     "TokenBucket",

@@ -52,6 +52,7 @@ from repro.core.records import (
 from repro.pow.generator import PuzzleGenerator
 from repro.pow.puzzle import Puzzle, Solution
 from repro.pow.verifier import PuzzleVerifier, ReplayCache
+from repro.state import AdmissionStateStore, InMemoryStateStore
 
 __all__ = ["AIPoWFramework", "Challenge"]
 
@@ -96,6 +97,13 @@ class AIPoWFramework:
     rng:
         RNG used by randomized policies; defaults to a generator seeded
         from ``config.policy_seed`` for reproducibility.
+    store:
+        Admission state store for the framework's own mutable state
+        (the verifier's replay cache); a private in-memory store is
+        created when omitted.  Builders that want *every* stateful
+        component behind one snapshot (feedback offsets, score cache,
+        adaptive load) pass the same store into those components — see
+        :class:`repro.core.spec.FrameworkSpec`.
     """
 
     def __init__(
@@ -106,16 +114,51 @@ class AIPoWFramework:
         *,
         events: EventBus | None = None,
         rng: random.Random | None = None,
+        store: AdmissionStateStore | None = None,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.model = model
         self.policy = policy
         self.events = events or EventBus()
+        self.store = store if store is not None else InMemoryStateStore()
         self._rng = rng or random.Random(self.config.policy_seed)
         self._generator = PuzzleGenerator(self.config.pow)
         self._verifier = PuzzleVerifier(
-            self.config.pow, replay_cache=ReplayCache()
+            self.config.pow, replay_cache=ReplayCache(store=self.store)
         )
+        # Stateful policies (the load-adaptive wrapper, possibly nested
+        # inside other wrappers) re-home their state into the
+        # framework's store so snapshot()/restore() covers them even
+        # when the policy was built by the registry or the DSL, which
+        # know nothing about stores.  Namespaces are disambiguated in
+        # walk order (outermost first) so nested wrappers keep
+        # independent estimates — the order is construction-derived,
+        # hence identical across workers building the same spec.
+        node, seen = policy, set()
+        used: set[str] = set()
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            binder = getattr(node, "bind_store", None)
+            if callable(binder):
+                base = getattr(node, "state_namespace", "policy-load")
+                name, suffix = base, 2
+                while name in used:
+                    name = f"{base}#{suffix}"
+                    suffix += 1
+                used.add(name)
+                binder(self.store, namespace=name)
+            node = getattr(node, "inner", None)
+
+    # ------------------------------------------------------------------
+    # State layer
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the framework's admission state store."""
+        return self.store.snapshot()
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the admission state store from :meth:`snapshot` output."""
+        self.store.restore(snapshot)
 
     # ------------------------------------------------------------------
     # Server-side half 1: request -> puzzle

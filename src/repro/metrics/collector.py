@@ -12,18 +12,31 @@ see: admission-queue depth, the batch-size distribution the
 micro-batcher actually achieved, and shed counters broken down by
 reason — fed directly by the gateway plus ``REQUEST_SHED`` events off
 the same bus.
+
+Multi-worker serving adds one wrinkle: each gateway worker process
+owns a private :class:`GatewayMetrics`, so cluster totals must be
+assembled from per-worker summaries shipped over the control channel.
+:meth:`GatewayMetrics.summary` reduces one worker to a JSON-safe dict
+and :func:`aggregate_gateway_summaries` folds any number of those into
+cluster totals (counter sums, flush-weighted mean batch size, max of
+max queue depths).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 from repro.core.events import EventBus, EventKind, FrameworkEvent
 from repro.core.records import ResponseStatus, ServedResponse
 from repro.metrics.histogram import SampleSet
 from repro.metrics.stats import StreamingStats
 
-__all__ = ["MetricsCollector", "ClassMetrics", "GatewayMetrics"]
+__all__ = [
+    "MetricsCollector",
+    "ClassMetrics",
+    "GatewayMetrics",
+    "aggregate_gateway_summaries",
+]
 
 Classifier = Callable[[ServedResponse], str]
 
@@ -181,3 +194,49 @@ class GatewayMetrics:
     def max_queue_depth(self) -> float:
         """Deepest queue observed (0.0 before the first observation)."""
         return self.queue_depths.max() if len(self.queue_depths) else 0.0
+
+    def summary(self) -> dict:
+        """JSON-safe reduction, shippable across a process boundary."""
+        return {
+            "admitted": self.admitted_count,
+            "shed": self.shed_count,
+            "shed_reasons": dict(self.shed_reasons),
+            "flushes": len(self.batch_sizes),
+            "mean_batch_size": self.mean_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+def aggregate_gateway_summaries(
+    summaries: Sequence[Mapping],
+) -> dict:
+    """Fold per-worker :meth:`GatewayMetrics.summary` dicts into totals.
+
+    Counters sum, shed reasons merge, the mean batch size is weighted
+    by each worker's flush count, and the queue-depth high-water mark
+    is the max across workers.  The input summaries ride along under
+    ``per_worker`` so nothing is lost in the reduction.
+    """
+    summaries = list(summaries)
+    flushes = sum(int(s.get("flushes", 0)) for s in summaries)
+    weighted = sum(
+        float(s.get("mean_batch_size", 0.0)) * int(s.get("flushes", 0))
+        for s in summaries
+    )
+    shed_reasons: dict[str, int] = {}
+    for s in summaries:
+        for reason, count in dict(s.get("shed_reasons", {})).items():
+            shed_reasons[reason] = shed_reasons.get(reason, 0) + int(count)
+    return {
+        "workers": len(summaries),
+        "admitted": sum(int(s.get("admitted", 0)) for s in summaries),
+        "shed": sum(int(s.get("shed", 0)) for s in summaries),
+        "shed_reasons": shed_reasons,
+        "flushes": flushes,
+        "mean_batch_size": weighted / flushes if flushes else 0.0,
+        "max_queue_depth": max(
+            (float(s.get("max_queue_depth", 0.0)) for s in summaries),
+            default=0.0,
+        ),
+        "per_worker": [dict(s) for s in summaries],
+    }

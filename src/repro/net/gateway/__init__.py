@@ -4,10 +4,13 @@ The event-loop front-end that makes the vectorised
 ``challenge_batch`` admission path reachable by real concurrent
 traffic — plus the bounded-queue/shedding overload behaviour a flood
 defense must itself exhibit, and the load-generation client that
-measures it.  See DESIGN.md §1.2.
+measures it.  :class:`GatewayCluster` scales the same front-end across
+worker processes, one per admission-state shard, routed by client-IP
+consistent hash.  See DESIGN.md §1.2–§1.3.
 """
 
 from repro.net.gateway.accumulator import MicroBatcher
+from repro.net.gateway.cluster import GatewayCluster, ShardWorker
 from repro.net.gateway.loadgen import LoadGenerator, LoadReport
 from repro.net.gateway.server import GatewayServer
 from repro.net.gateway.shedding import (
@@ -20,6 +23,8 @@ from repro.net.gateway.shedding import (
 
 __all__ = [
     "GatewayServer",
+    "GatewayCluster",
+    "ShardWorker",
     "MicroBatcher",
     "LoadGenerator",
     "LoadReport",

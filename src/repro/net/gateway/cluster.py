@@ -1,0 +1,440 @@
+"""Multi-worker admission gateway: one process per state shard.
+
+The single-process :class:`~repro.net.gateway.server.GatewayServer`
+is GIL-bound — micro-batching buys vectorised admission, but one core
+is still one core.  :class:`GatewayCluster` scales it out without
+giving up the state model:
+
+* the parent binds the TCP listener and runs a thin accept loop;
+* each accepted connection is routed by **client-IP consistent hash**
+  (the same :class:`~repro.state.HashRing` the sharded store uses) and
+  handed to the owning worker *by file descriptor* over an
+  ``AF_UNIX``/``SOCK_SEQPACKET`` control channel — the parent never
+  proxies a byte of payload;
+* each worker process builds the identical pipeline from a
+  :class:`~repro.core.spec.FrameworkSpec` over its own
+  :class:`~repro.state.InMemoryStateStore` and serves its connections
+  through an ordinary :class:`GatewayServer` core (micro-batcher, shed
+  policy, metrics and all).
+
+Because a client's every connection lands on the same worker, all
+per-client state — behavioural offsets, cached scores, issued-puzzle
+replay seeds — lives wholly inside one shard, and admission decisions
+are bit-identical to the single-process path (randomized policies
+excepted: each worker owns an RNG stream, like any horizontally scaled
+deployment).
+
+Lifecycle: SIGTERM (or :meth:`GatewayCluster.stop`) stops the accept
+loop, then each worker drains — queued admissions resolve as ``ERR
+shed: ...``, in-flight exchanges get a grace period — persists its
+shard's state snapshot into ``state_dir`` (when configured), ships its
+:class:`~repro.metrics.collector.GatewayMetrics` summary to the parent
+over the control channel, and exits 0.  The parent aggregates the
+summaries via
+:func:`~repro.metrics.collector.aggregate_gateway_summaries`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import threading
+
+from repro.core.spec import FrameworkSpec
+from repro.metrics.collector import GatewayMetrics, aggregate_gateway_summaries
+from repro.net.gateway.server import GatewayServer
+from repro.net.gateway.shedding import DropByReputationPrior, DropNewest
+from repro.net.live import protocol
+from repro.state import (
+    HashRing,
+    InMemoryStateStore,
+    read_shard_file,
+    state_dir_topology,
+    write_shard_file,
+)
+
+__all__ = ["GatewayCluster", "ShardWorker", "make_shed_policy"]
+
+#: Control-channel message tags (SOCK_SEQPACKET, one message per send).
+_READY = b"READY"
+_CONN = b"C"
+_QUIT = b"QUIT"
+_METRICS = b"M"
+
+
+def make_shed_policy(name: str):
+    """Shed policy from its CLI name (specs cross process boundaries)."""
+    if name == "drop-reputation":
+        return DropByReputationPrior()
+    if name == "drop-newest":
+        return DropNewest()
+    raise ValueError(f"unknown shed policy {name!r}")
+
+
+class ShardWorker:
+    """One worker process: a gateway core fed connections by fd.
+
+    Instantiated inside the child via :func:`_worker_entry`; everything
+    it needs crosses the process boundary as picklable values (the
+    spec, plain options, and the control socket).
+    """
+
+    def __init__(
+        self,
+        spec: FrameworkSpec,
+        shard: int,
+        shards: int,
+        ctrl: socket.socket,
+        options: dict,
+    ) -> None:
+        self.spec = spec
+        self.shard = shard
+        self.shards = shards
+        self.ctrl = ctrl
+        self.options = options
+        self.gateway: GatewayServer | None = None
+        self.metrics = GatewayMetrics()
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> int:
+        """Build the shard's framework, serve until shutdown; exit 0."""
+        store = InMemoryStateStore()
+        framework = self.spec.build(store=store)
+        state_dir = self.options.get("state_dir")
+        if state_dir:
+            snapshot = read_shard_file(state_dir, self.shard, self.shards)
+            if snapshot is not None:
+                framework.restore(snapshot)
+        self.gateway = GatewayServer(
+            framework,
+            max_batch=self.options.get("max_batch", 64),
+            batch_window=self.options.get("batch_window", 0.002),
+            queue_limit=self.options.get("queue_limit", 256),
+            shed_policy=make_shed_policy(
+                self.options.get("shed_policy", "drop-newest")
+            ),
+            io_timeout=self.options.get("io_timeout", 30.0),
+            metrics=self.metrics,
+        )
+        try:
+            self.ctrl.sendall(_READY)
+        except OSError:
+            return 1
+        asyncio.run(self._serve())
+        if state_dir:
+            write_shard_file(
+                state_dir, self.shard, self.shards, framework.snapshot()
+            )
+        self._ship_metrics()
+        return 0
+
+    async def _serve(self) -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        self.ctrl.setblocking(False)
+        self.gateway.batcher.start()
+        loop.add_reader(self.ctrl.fileno(), self._on_ctrl_readable, loop, stop)
+        try:
+            await stop.wait()
+        finally:
+            loop.remove_reader(self.ctrl.fileno())
+            await self.gateway.drain(
+                grace=self.options.get("drain_grace", 5.0)
+            )
+
+    def _on_ctrl_readable(self, loop, stop: asyncio.Event) -> None:
+        """Drain control messages: connection fds, QUIT, or parent EOF."""
+        while True:
+            try:
+                msg, fds, _flags, _addr = socket.recv_fds(self.ctrl, 64, 8)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                stop.set()
+                return
+            if not msg and not fds:
+                # Parent closed its write side: graceful shutdown.
+                stop.set()
+                return
+            for fd in fds:
+                loop.create_task(self._serve_connection(fd))
+            if msg.startswith(_QUIT):
+                stop.set()
+                return
+
+    async def _serve_connection(self, fd: int) -> None:
+        try:
+            sock = socket.socket(fileno=fd)
+        except OSError:  # pragma: no cover - defensive
+            os.close(fd)
+            return
+        sock.setblocking(False)
+        try:
+            reader, writer = await asyncio.open_connection(
+                sock=sock, limit=protocol.MAX_LINE_BYTES + 1
+            )
+        except OSError:  # pragma: no cover - peer vanished already
+            sock.close()
+            return
+        await self.gateway.handle_connection(reader, writer)
+
+    def _ship_metrics(self) -> None:
+        summary = self.metrics.summary()
+        summary["shard"] = self.shard
+        summary["responses"] = len(self.gateway.responses)
+        try:
+            self.ctrl.setblocking(True)
+            self.ctrl.sendall(_METRICS + json.dumps(summary).encode("utf-8"))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+        finally:
+            self.ctrl.close()
+
+
+def _worker_entry(
+    spec: FrameworkSpec,
+    shard: int,
+    shards: int,
+    ctrl: socket.socket,
+    options: dict,
+) -> None:
+    """Child-process entry point (module-level for spawn picklability)."""
+    sys.exit(ShardWorker(spec, shard, shards, ctrl, options).run())
+
+
+class GatewayCluster:
+    """N gateway workers behind one listener, sharded by client IP.
+
+    Use exactly like :class:`GatewayServer`::
+
+        spec = FrameworkSpec(policy="policy-1")
+        with GatewayCluster(spec, workers=4) as cluster:
+            body = LiveClient(cluster.address).fetch("/index.html", {})
+
+    Parameters
+    ----------
+    spec:
+        Recipe every worker builds its framework from.
+    workers:
+        Worker process count; 1 is a valid (useful for parity testing)
+        degenerate cluster.
+    host / port:
+        Bind address; port 0 picks a free port.
+    max_batch / batch_window / queue_limit / shed_policy / io_timeout:
+        Per-worker gateway tuning (``shed_policy`` by CLI name so it
+        crosses the process boundary).
+    state_dir:
+        Directory of per-shard state snapshots: each worker restores
+        its ``shard-I-of-N.json`` at boot (when present) and rewrites
+        it at graceful shutdown.
+    drain_grace:
+        Seconds each worker gives in-flight exchanges at shutdown.
+    replicas:
+        Virtual nodes per shard on the routing ring (must match any
+        ``repro state restore`` that produced ``state_dir``).
+    start_method:
+        ``multiprocessing`` start method; default ``spawn`` — portable,
+        thread-safe, and the only behaviour a production supervisor
+        would see.
+    startup_timeout:
+        Seconds to wait for every worker's READY handshake.
+    """
+
+    def __init__(
+        self,
+        spec: FrameworkSpec,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        queue_limit: int = 256,
+        shed_policy: str = "drop-newest",
+        io_timeout: float = 30.0,
+        state_dir=None,
+        drain_grace: float = 5.0,
+        replicas: int = 64,
+        start_method: str = "spawn",
+        startup_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        make_shed_policy(shed_policy)  # validate the name up front
+        self.spec = spec
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.ring = HashRing(workers, replicas=replicas)
+        self.state_dir = state_dir
+        self.start_method = start_method
+        self.startup_timeout = startup_timeout
+        self.options = {
+            "max_batch": max_batch,
+            "batch_window": batch_window,
+            "queue_limit": queue_limit,
+            "shed_policy": shed_policy,
+            "io_timeout": io_timeout,
+            "state_dir": os.fspath(state_dir) if state_dir else None,
+            "drain_grace": drain_grace,
+        }
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._ctrls: list[socket.socket] = []
+        self._procs: list = []
+        self._accept_thread: threading.Thread | None = None
+        self.worker_summaries: list[dict] = []
+        self.metrics_summary: dict = {}
+        self.exit_codes: list[int | None] = []
+
+    # -- routing -------------------------------------------------------
+    def shard_for(self, client_ip: str) -> int:
+        """The worker index a client's connections are routed to."""
+        return self.ring.shard_for(client_ip)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the cluster listener is bound to."""
+        if self._address is None:
+            raise RuntimeError("cluster not started")
+        return self._address
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "GatewayCluster":
+        """Bind, spawn the workers, wait for READY, begin accepting."""
+        if self._listener is not None:
+            raise RuntimeError("cluster already started")
+        if self.state_dir is not None:
+            # Fail before spawning anything: a state directory split
+            # for a different worker count must be re-split, never
+            # silently cold-started (the workers enforce this too).
+            topology = state_dir_topology(self.state_dir)
+            if topology is not None and topology != self.workers:
+                raise ValueError(
+                    f"{self.state_dir} holds state split for {topology} "
+                    f"workers, cluster has {self.workers}; re-split with "
+                    f"`repro state restore --workers {self.workers}`"
+                )
+        ctx = multiprocessing.get_context(self.start_method)
+        listener = socket.create_server(
+            (self.host, self.port), backlog=512, reuse_port=False
+        )
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        try:
+            for shard in range(self.workers):
+                parent_sock, child_sock = socket.socketpair(
+                    socket.AF_UNIX, socket.SOCK_SEQPACKET
+                )
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(
+                        self.spec, shard, self.workers, child_sock,
+                        self.options,
+                    ),
+                    name=f"repro-gateway-shard-{shard}",
+                    daemon=True,
+                )
+                proc.start()
+                child_sock.close()
+                self._ctrls.append(parent_sock)
+                self._procs.append(proc)
+            for shard, ctrl in enumerate(self._ctrls):
+                ctrl.settimeout(self.startup_timeout)
+                try:
+                    message = ctrl.recv(64)
+                except (socket.timeout, OSError):
+                    message = b""
+                if message != _READY:
+                    raise RuntimeError(
+                        f"gateway worker {shard} failed to come up "
+                        f"(exitcode {self._procs[shard].exitcode})"
+                    )
+                ctrl.settimeout(None)
+        except BaseException:
+            self._teardown(graceful=False)
+            raise
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-cluster-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            shard = self.ring.shard_for(addr[0])
+            try:
+                socket.send_fds(self._ctrls[shard], [_CONN], [conn.fileno()])
+            except OSError:  # pragma: no cover - worker died
+                pass
+            finally:
+                conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain workers, collect metrics (idempotent)."""
+        if self._listener is None:
+            return
+        self._teardown(graceful=True)
+
+    def _teardown(self, graceful: bool) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10.0)
+            self._accept_thread = None
+        summaries: list[dict] = []
+        for ctrl in self._ctrls:
+            try:
+                ctrl.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+        for ctrl, proc in zip(self._ctrls, self._procs):
+            if graceful:
+                summary = self._read_summary(ctrl)
+                if summary is not None:
+                    summaries.append(summary)
+            ctrl.close()
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+            self.exit_codes.append(proc.exitcode)
+        self._ctrls = []
+        self._procs = []
+        self._listener = None
+        self._address = None
+        if graceful:
+            self.worker_summaries = summaries
+            self.metrics_summary = aggregate_gateway_summaries(summaries)
+
+    def _read_summary(self, ctrl: socket.socket) -> dict | None:
+        ctrl.settimeout(30.0)
+        try:
+            while True:
+                message = ctrl.recv(1 << 20)
+                if not message:
+                    return None
+                if message.startswith(_METRICS):
+                    return json.loads(message[len(_METRICS):])
+        except (socket.timeout, OSError, ValueError):
+            return None
+
+    def __enter__(self) -> "GatewayCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.errors import ProtocolError
 from repro.metrics.histogram import SampleSet
@@ -42,6 +42,10 @@ class LoadReport:
     admission_dropped: int = 0
     rejected: int = 0
     errors: int = 0
+    #: Exchanges ended deliberately after the challenge (``solve=False``
+    #: admission-throughput runs) — the server's admission work is done,
+    #: no solution was submitted.
+    challenged: int = 0
     elapsed: float = 0.0
     latencies: SampleSet = dataclasses.field(default_factory=SampleSet)
     #: Puzzle difficulty of every challenge received, in receipt order —
@@ -51,7 +55,10 @@ class LoadReport:
     @property
     def completed(self) -> int:
         """Requests that got a definitive reply (served or shed)."""
-        return self.served + self.shed + self.admission_dropped + self.rejected
+        return (
+            self.served + self.shed + self.admission_dropped
+            + self.rejected + self.challenged
+        )
 
     @property
     def throughput(self) -> float:
@@ -88,6 +95,19 @@ class LoadGenerator:
         Solver search width.
     timeout:
         Per-read timeout in seconds.
+    bind_ips:
+        Optional local source addresses, assigned to connections
+        round-robin.  On Linux the whole ``127.0.0.0/8`` block is
+        loopback, so a sharded-gateway experiment can present many
+        distinct client IPs (``127.0.0.1``, ``127.0.0.2``, ...) from
+        one host — each IP then routes consistently to its shard, the
+        way distinct real clients would.
+    solve:
+        When False, each exchange stops after receiving the puzzle
+        (counted under ``challenged``): the server has done all its
+        admission work, and the generator's own cost stays minimal —
+        the mode the ``thr-shard`` scaling measurement uses so the
+        *server*, not the load generator, is the saturated side.
     """
 
     def __init__(
@@ -100,6 +120,8 @@ class LoadGenerator:
         resource: str = "/index.html",
         nonce_bits: int = 32,
         timeout: float = 30.0,
+        bind_ips: Sequence[str] | None = None,
+        solve: bool = True,
     ) -> None:
         if connections < 1:
             raise ValueError(f"connections must be >= 1, got {connections}")
@@ -115,13 +137,19 @@ class LoadGenerator:
         self.resource = resource
         self.solver = HashSolver(nonce_bits=nonce_bits)
         self.timeout = timeout
+        self.bind_ips = list(bind_ips) if bind_ips else []
+        self.solve = solve
 
-    async def _exchange(self, report: LoadReport) -> None:
+    async def _exchange(self, report: LoadReport, bind_ip: str | None) -> None:
         report.attempted += 1
         started = time.perf_counter()
+        local_addr = (bind_ip, 0) if bind_ip else None
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(*self.address), self.timeout
+                asyncio.open_connection(
+                    *self.address, local_addr=local_addr
+                ),
+                self.timeout,
             )
         except (OSError, asyncio.TimeoutError):
             report.errors += 1
@@ -145,6 +173,10 @@ class LoadGenerator:
                 return
             puzzle = Puzzle.from_wire(reply)
             report.difficulties.append(puzzle.difficulty)
+            if not self.solve:
+                report.challenged += 1
+                report.latencies.add(time.perf_counter() - started)
+                return
             my_ip = writer.get_extra_info("sockname")[0]
             solution = self.solver.solve(puzzle, my_ip)
             await protocol.send_line_async(writer, solution.to_wire())
@@ -168,15 +200,23 @@ class LoadGenerator:
         else:
             report.rejected += 1
 
-    async def _worker(self, report: LoadReport) -> None:
+    async def _worker(self, report: LoadReport, index: int) -> None:
+        bind_ip = (
+            self.bind_ips[index % len(self.bind_ips)]
+            if self.bind_ips
+            else None
+        )
         for _ in range(self.requests_per_connection):
-            await self._exchange(report)
+            await self._exchange(report, bind_ip)
 
     async def _run(self) -> LoadReport:
         report = LoadReport()
         started = time.perf_counter()
         await asyncio.gather(
-            *(self._worker(report) for _ in range(self.connections))
+            *(
+                self._worker(report, index)
+                for index in range(self.connections)
+            )
         )
         report.elapsed = time.perf_counter() - started
         return report

@@ -171,6 +171,18 @@ class GatewayServer:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one live-protocol connection on the running loop.
+
+        The same handler the TCP front-end uses, exposed for serving
+        tiers that accept connections elsewhere — the multi-worker
+        cluster passes accepted sockets in by file descriptor and
+        drives them through here.
+        """
+        await self._handle(reader, writer)
+
     async def _read(self, reader: asyncio.StreamReader) -> str:
         return await asyncio.wait_for(
             protocol.read_line_async(reader), self.io_timeout
@@ -274,16 +286,25 @@ class GatewayServer:
             async with server:
                 await self._shutdown.wait()
         finally:
-            await self.batcher.stop()
-            # Handlers woken by the shutdown shed still need loop time
-            # to deliver their `ERR shed: ...` reply before asyncio.run
-            # cancels them; give in-flight connections a short grace.
-            current = asyncio.current_task()
-            handlers = [
-                task for task in asyncio.all_tasks() if task is not current
-            ]
-            if handlers:
-                await asyncio.wait(handlers, timeout=1.0)
+            await self.drain()
+
+    async def drain(self, grace: float = 1.0) -> None:
+        """Stop admitting and give in-flight connections a short grace.
+
+        Queued-but-unadmitted requests resolve as shed (their handlers
+        deliver the ``ERR shed: ...`` reply); handlers already past
+        admission get ``grace`` seconds of loop time to finish their
+        exchange before ``asyncio.run`` cancels them.  Shared by the
+        in-process server shutdown and the cluster workers' SIGTERM
+        path.
+        """
+        await self.batcher.stop()
+        current = asyncio.current_task()
+        handlers = [
+            task for task in asyncio.all_tasks() if task is not current
+        ]
+        if handlers:
+            await asyncio.wait(handlers, timeout=grace)
 
     def _run_loop(self) -> None:
         try:

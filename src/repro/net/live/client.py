@@ -44,6 +44,11 @@ class LiveClient:
         Nonce grinder; defaults to a fresh 32-bit :class:`HashSolver`.
     timeout:
         Socket timeout in seconds.
+    source_ip:
+        Optional local address to bind outgoing connections to.  On
+        Linux any ``127.0.0.0/8`` address is loopback, so tests and
+        smoke tools can present distinct client IPs to a sharded
+        gateway from a single host.
     """
 
     def __init__(
@@ -51,19 +56,27 @@ class LiveClient:
         address: tuple[str, int],
         solver: HashSolver | None = None,
         timeout: float = 30.0,
+        source_ip: str | None = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.address = address
         self.solver = solver or HashSolver()
         self.timeout = timeout
+        self.source_ip = source_ip
+
+    def _connect(self) -> socket.socket:
+        source = (self.source_ip, 0) if self.source_ip else None
+        return socket.create_connection(
+            self.address, timeout=self.timeout, source_address=source
+        )
 
     def fetch(
         self, resource: str, features: Mapping[str, float]
     ) -> FetchResult:
         """Run one full request/solve/redeem exchange."""
         started = time.perf_counter()
-        with socket.create_connection(self.address, timeout=self.timeout) as sock:
+        with self._connect() as sock:
             protocol.send_line(
                 sock, protocol.encode_request(resource, features)
             )
@@ -96,7 +109,7 @@ class LiveClient:
         Test hook for failure injection (bad nonces, tampered frames);
         returns the parsed (ok, body/reason) reply.
         """
-        with socket.create_connection(self.address, timeout=self.timeout) as sock:
+        with self._connect() as sock:
             protocol.send_line(
                 sock, protocol.encode_request(resource, features)
             )

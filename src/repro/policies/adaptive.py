@@ -8,6 +8,11 @@ wraps any inner policy and adds a load-dependent difficulty surcharge.
 Load is reported by the caller (the simulator's server reports its
 pending-request ratio) via :meth:`observe_load`; the wrapper is
 otherwise a drop-in :class:`Policy`.
+
+The smoothed load estimate lives in an
+:class:`~repro.state.AdmissionStateStore` namespace (``policy-load``,
+key ``load``), so a gateway worker's difficulty posture survives a
+restart along with the rest of the admission state.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import math
 import random
 
 from repro.core.interfaces import Policy
+from repro.state import AdmissionStateStore, InMemoryStateStore
 
 __all__ = ["LoadAdaptivePolicy"]
 
@@ -34,7 +40,15 @@ class LoadAdaptivePolicy:
     smoothing:
         Exponential-moving-average factor for :meth:`observe_load`; 1.0
         means "trust the latest sample completely".
+    store:
+        Admission state store holding the load estimate; a private
+        in-memory store is created when omitted.
+    namespace:
+        Store namespace name, for stacks running several adaptive
+        policies over one store.
     """
+
+    _KEY = "load"
 
     def __init__(
         self,
@@ -42,6 +56,9 @@ class LoadAdaptivePolicy:
         max_surcharge: int = 4,
         initial_load: float = 0.0,
         smoothing: float = 0.5,
+        *,
+        store: AdmissionStateStore | None = None,
+        namespace: str = "policy-load",
     ) -> None:
         if max_surcharge < 0:
             raise ValueError(f"max_surcharge must be >= 0, got {max_surcharge}")
@@ -52,7 +69,39 @@ class LoadAdaptivePolicy:
         self.inner = inner
         self.max_surcharge = max_surcharge
         self.smoothing = smoothing
-        self._load = initial_load
+        self.store = store if store is not None else InMemoryStateStore()
+        self.state_namespace = namespace
+        self._state = self.store.namespace(namespace)
+        # A restored store already carries the warmed estimate; only a
+        # cold table takes the configured starting value.
+        if self._KEY not in self._state:
+            self._state[self._KEY] = float(initial_load)
+
+    def bind_store(
+        self,
+        store: AdmissionStateStore,
+        namespace: str | None = None,
+    ) -> None:
+        """Re-home the load estimate into ``store``.
+
+        Policies are often constructed before the framework (and its
+        store) exist — the registry and the policy DSL know nothing
+        about stores — so :class:`~repro.core.framework.AIPoWFramework`
+        calls this on any policy that offers it, bringing the load
+        estimate under the framework's ``snapshot()``/``restore()``.
+        A value already present in the target store (a restored
+        snapshot) wins; otherwise the current estimate carries over.
+        ``namespace`` lets the caller disambiguate when several
+        adaptive policies share one store (the framework suffixes
+        nested wrappers so their estimates stay independent).
+        """
+        previous = self.load
+        self.store = store
+        if namespace is not None:
+            self.state_namespace = namespace
+        self._state = store.namespace(self.state_namespace)
+        if self._KEY not in self._state:
+            self._state[self._KEY] = previous
 
     @property
     def name(self) -> str:
@@ -61,16 +110,18 @@ class LoadAdaptivePolicy:
     @property
     def load(self) -> float:
         """The current smoothed load estimate in [0, 1]."""
-        return self._load
+        return float(self._state.get(self._KEY, 0.0))
 
     def observe_load(self, load: float) -> None:
         """Feed a fresh load sample in [0, 1] (values outside are clamped)."""
         load = min(max(float(load), 0.0), 1.0)
-        self._load = (1 - self.smoothing) * self._load + self.smoothing * load
+        self._state[self._KEY] = (
+            (1 - self.smoothing) * self.load + self.smoothing * load
+        )
 
     def surcharge(self) -> int:
         """The extra difficulty currently applied on top of ``inner``."""
-        return int(math.ceil(self.max_surcharge * self._load))
+        return int(math.ceil(self.max_surcharge * self.load))
 
     def difficulty_for(self, score: float, rng: random.Random) -> int:
         return self.inner.difficulty_for(score, rng) + self.surcharge()
@@ -78,5 +129,5 @@ class LoadAdaptivePolicy:
     def describe(self) -> str:
         return (
             f"{self.name}: inner + ceil({self.max_surcharge} * load), "
-            f"load={self._load:.2f}"
+            f"load={self.load:.2f}"
         )

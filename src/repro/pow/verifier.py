@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import hmac as hmac_mod
-from collections import OrderedDict
 
 from repro.core.config import PowConfig
 from repro.core.errors import (
@@ -43,33 +42,61 @@ class ReplayCache:
     lazily (an expired puzzle is rejected by the freshness check before
     the replay check can matter), and a hard ``max_entries`` cap evicts
     oldest-first so a flood of redemptions cannot exhaust memory.
+
+    Redeemed seeds live in an :class:`~repro.state.AdmissionStateStore`
+    namespace (``replay``, entries ``seed -> [redeemed_at, owner_ip]``),
+    so the single-redemption property survives a snapshot/restore
+    cycle — restarting a warmed server must not reopen already-redeemed
+    puzzles.  The owner IP is recorded because it is the entry's
+    *shard-affinity* key: a redeemed seed lives on the shard serving
+    that client, and ``repro.state.snapshot.split_snapshot`` uses the
+    owner (not the seed) to put it back there when resharding.
     """
 
-    def __init__(self, ttl: float = 300.0, max_entries: int = 100_000) -> None:
+    def __init__(
+        self,
+        ttl: float = 300.0,
+        max_entries: int = 100_000,
+        *,
+        store=None,
+        namespace: str = "replay",
+    ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be > 0, got {ttl}")
         if max_entries <= 0:
             raise ValueError(f"max_entries must be > 0, got {max_entries}")
         self.ttl = ttl
         self.max_entries = max_entries
-        self._seen: OrderedDict[str, float] = OrderedDict()
+        if store is None:
+            from repro.state import InMemoryStateStore
+
+            store = InMemoryStateStore()
+        self.store = store
+        self._seen = store.namespace(namespace)
 
     def __len__(self) -> int:
         return len(self._seen)
 
-    def check_and_add(self, seed: str, now: float) -> bool:
-        """Record ``seed``; return False if it was already present (replay)."""
+    def check_and_add(
+        self, seed: str, now: float, owner: str | None = None
+    ) -> bool:
+        """Record ``seed``; return False if it was already present (replay).
+
+        ``owner`` is the client IP the puzzle was bound to — recorded
+        so sharded deployments can route the entry with the client's
+        other state when splitting snapshots.
+        """
         self._evict(now)
         if seed in self._seen:
             return False
-        self._seen[seed] = now
+        self._seen[seed] = [now, owner]
         return True
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.ttl
         while self._seen:
-            seed, added = next(iter(self._seen.items()))
-            if added >= cutoff and len(self._seen) < self.max_entries:
+            seed, entry = next(iter(self._seen.items()))
+            if entry[0] >= cutoff and len(self._seen) < self.max_entries:
                 break
             del self._seen[seed]
 
@@ -167,7 +194,9 @@ class PuzzleVerifier:
             )
 
         if self.replay_cache is not None:
-            if not self.replay_cache.check_and_add(puzzle.seed, now):
+            if not self.replay_cache.check_and_add(
+                puzzle.seed, now, owner=client_ip
+            ):
                 raise ReplayedSolutionError(
                     f"seed {puzzle.seed} already redeemed"
                 )

@@ -6,16 +6,24 @@ model is itself a resource the attack consumes.  :class:`CachedModel`
 wraps any reputation model with a TTL-bounded, capacity-bounded per-IP
 cache keyed by the requesting address.
 
-Note the deliberate asymmetry with
-:class:`~repro.reputation.feedback.FeedbackReputationModel`: feedback
-*wraps caching* (offset applied to the cached base score), never the
-other way around — caching a feedback-adjusted score would freeze the
-behavioural signal.
+Composition with
+:class:`~repro.reputation.feedback.FeedbackReputationModel`: the
+recommended order is still feedback *wrapping* caching (the offset is
+applied on top of the cached base score, so behaviour reacts
+instantly).  The reverse order — caching a feedback-adjusted score —
+is now coherent too: the cache subscribes to the inner chain's offset
+changes and invalidates the affected IP the moment a penalty or reward
+lands, instead of serving the stale pre-feedback score until the TTL
+expires.
+
+Cache entries live in an :class:`~repro.state.AdmissionStateStore`
+namespace (``score-cache``, entries ``ip -> [cached_at, score]``), so
+a warmed cache snapshots/restores with the rest of the admission
+state.  Hit/miss counters are process-local diagnostics, not state.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -23,18 +31,38 @@ import numpy as np
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest
 from repro.reputation.base import model_score_batch, model_score_requests
+from repro.state import AdmissionStateStore, InMemoryStateStore
 
 __all__ = ["CachedModel"]
 
 
 class CachedModel:
-    """TTL + LRU cache over an inner model's per-request scores."""
+    """TTL + LRU cache over an inner model's per-request scores.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped reputation model.
+    ttl:
+        Seconds a cached score stays valid.
+    max_entries:
+        Capacity bound; least-recently-used entries are evicted.
+    store:
+        Admission state store holding the cache table; a private
+        in-memory store is created when omitted.
+    namespace:
+        Store namespace name, for deployments running several caches
+        over one store.
+    """
 
     def __init__(
         self,
         inner: ReputationModel,
         ttl: float = 3600.0,
         max_entries: int = 100_000,
+        *,
+        store: AdmissionStateStore | None = None,
+        namespace: str = "score-cache",
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be > 0, got {ttl}")
@@ -43,9 +71,28 @@ class CachedModel:
         self.inner = inner
         self.ttl = ttl
         self.max_entries = max_entries
-        self._cache: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self.store = store if store is not None else InMemoryStateStore()
+        self._cache = self.store.namespace(namespace)
         self.hits = 0
         self.misses = 0
+        self._subscribe_offset_changes(inner)
+
+    def _subscribe_offset_changes(self, inner) -> None:
+        """Invalidate on feedback shifts anywhere in the inner chain.
+
+        Walks ``inner`` through wrapper links (``.base`` / ``.inner``)
+        and registers :meth:`invalidate` with every model that
+        announces offset changes, keeping a cached feedback-adjusted
+        score coherent with the behavioural signal beneath it.
+        """
+        seen: set[int] = set()
+        node = inner
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            subscribe = getattr(node, "subscribe_offset_changes", None)
+            if callable(subscribe):
+                subscribe(self.invalidate)
+            node = getattr(node, "base", None) or getattr(node, "inner", None)
 
     @property
     def name(self) -> str:
@@ -77,7 +124,7 @@ class CachedModel:
 
         self.misses += 1
         score = self.inner.score_request(request)
-        self._cache[request.client_ip] = (now, score)
+        self._cache[request.client_ip] = [now, score]
         self._cache.move_to_end(request.client_ip)
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
@@ -147,7 +194,7 @@ class CachedModel:
                 request = requests[i]
                 score = float(value)
                 scores[i] = score
-                self._cache[request.client_ip] = (request.timestamp, score)
+                self._cache[request.client_ip] = [request.timestamp, score]
                 self._cache.move_to_end(request.client_ip)
                 while len(self._cache) > self.max_entries:
                     self._cache.popitem(last=False)

@@ -20,13 +20,20 @@ behavioural offset:
 The wrapper satisfies the :class:`~repro.core.interfaces.ReputationModel`
 protocol and can observe outcomes automatically via the framework's
 event bus (:meth:`attach`).
+
+State lives in an :class:`~repro.state.AdmissionStateStore` namespace
+(``feedback``, entries ``ip -> [offset, updated_at]``), so a warmed
+reputation table can be snapshotted, restored, and sharded across
+gateway workers.  Offset changes are announced to subscribers
+(:meth:`subscribe_offset_changes`) so caching layers above this model
+can invalidate the affected IP instead of serving a stale score.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +41,7 @@ from repro.core.events import EventBus, EventKind, FrameworkEvent
 from repro.core.interfaces import ReputationModel
 from repro.core.records import ClientRequest, ResponseStatus, ServedResponse
 from repro.reputation.base import clamp_score, model_score_requests
+from repro.state import AdmissionStateStore, InMemoryStateStore
 
 __all__ = ["FeedbackConfig", "FeedbackReputationModel"]
 
@@ -69,14 +77,28 @@ class FeedbackConfig:
             raise ValueError(f"half_life must be > 0, got {self.half_life}")
 
 
-@dataclasses.dataclass
-class _IpState:
-    offset: float = 0.0
-    updated_at: float = 0.0
+# Per-IP state is a JSON-safe two-slot list, mutated in place:
+_OFFSET, _UPDATED_AT = 0, 1
 
 
 class FeedbackReputationModel:
-    """Per-IP behavioural offset on top of a base reputation model."""
+    """Per-IP behavioural offset on top of a base reputation model.
+
+    Parameters
+    ----------
+    base:
+        The wrapped reputation model.
+    config:
+        Feedback tuning; defaults to :class:`FeedbackConfig`.
+    max_tracked_ips:
+        Capacity bound on the offset table.
+    store:
+        Admission state store holding the offset table; a private
+        in-memory store is created when omitted.
+    namespace:
+        Store namespace name, for deployments running several feedback
+        models over one store.
+    """
 
     #: Outcomes that count as hostile behaviour.
     _BAD = (ResponseStatus.REJECTED, ResponseStatus.REPLAYED)
@@ -86,6 +108,9 @@ class FeedbackReputationModel:
         base: ReputationModel,
         config: FeedbackConfig | None = None,
         max_tracked_ips: int = 100_000,
+        *,
+        store: AdmissionStateStore | None = None,
+        namespace: str = "feedback",
     ) -> None:
         if max_tracked_ips <= 0:
             raise ValueError(
@@ -94,7 +119,9 @@ class FeedbackReputationModel:
         self.base = base
         self.config = config or FeedbackConfig()
         self.max_tracked_ips = max_tracked_ips
-        self._states: dict[str, _IpState] = {}
+        self.store = store if store is not None else InMemoryStateStore()
+        self._states = self.store.namespace(namespace)
+        self._listeners: list[Callable[[str], None]] = []
 
     @property
     def name(self) -> str:
@@ -141,11 +168,11 @@ class FeedbackReputationModel:
             return 0.0
         return self._decayed(state, now)
 
-    def _decayed(self, state: _IpState, now: float) -> float:
-        elapsed = max(0.0, now - state.updated_at)
+    def _decayed(self, state: list, now: float) -> float:
+        elapsed = max(0.0, now - state[_UPDATED_AT])
         if math.isinf(self.config.half_life):
-            return state.offset
-        return state.offset * 0.5 ** (elapsed / self.config.half_life)
+            return state[_OFFSET]
+        return state[_OFFSET] * 0.5 ** (elapsed / self.config.half_life)
 
     def observe(self, response: ServedResponse, now: float | None = None) -> None:
         """Fold one terminal outcome into the client's offset."""
@@ -155,26 +182,44 @@ class FeedbackReputationModel:
         if state is None:
             if len(self._states) >= self.max_tracked_ips:
                 self._evict_smallest()
-            state = self._states.setdefault(ip, _IpState(updated_at=when))
+            state = self._states.setdefault(ip, [0.0, when])
         current = self._decayed(state, when)
 
         if response.status in self._BAD:
             current = min(
                 current + self.config.penalty_step, self.config.max_penalty
             )
+            changed = True
         elif response.status is ResponseStatus.SERVED:
             current = max(
                 current - self.config.reward_step, -self.config.max_reward
             )
-        # ABANDONED / EXPIRED are ambiguous (patience, network) — neutral.
+            changed = True
+        else:
+            # ABANDONED / EXPIRED are ambiguous (patience, network) — neutral.
+            changed = False
 
-        state.offset = current
-        state.updated_at = when
+        state[_OFFSET] = current
+        state[_UPDATED_AT] = when
+        if changed:
+            for listener in self._listeners:
+                listener(ip)
+
+    def subscribe_offset_changes(
+        self, listener: Callable[[str], None]
+    ) -> None:
+        """Call ``listener(client_ip)`` whenever an offset shifts.
+
+        Cache layers above this model subscribe their ``invalidate`` so
+        a penalty or reward is reflected by the very next score instead
+        of after the cached entry's TTL.
+        """
+        self._listeners.append(listener)
 
     def _evict_smallest(self) -> None:
         """Drop the IP with the smallest |offset| (least information)."""
         victim = min(
-            self._states, key=lambda ip: abs(self._states[ip].offset)
+            self._states, key=lambda ip: abs(self._states[ip][_OFFSET])
         )
         del self._states[victim]
 

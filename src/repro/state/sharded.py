@@ -1,0 +1,188 @@
+"""A state store partitioned over N child stores by consistent hash.
+
+:class:`ShardedStateStore` is the single-process twin of the
+multi-worker gateway: the same :class:`~repro.state.sharding.HashRing`
+that routes a connection to a worker routes a key to a child store
+here.  Components are oblivious — they hold a
+:class:`ShardedNamespace`, which forwards each keyed operation to the
+owning shard's namespace.
+
+Semantics under partitioning
+----------------------------
+Keyed operations (``get``/``put``/``delete``/``move_to_end``) behave
+exactly like the in-memory store: a key lives wholly in one shard, so
+per-client state never crosses a shard boundary and per-key behaviour
+is bit-identical.  *Aggregate* operations are where partitioning shows:
+
+* ``len``/iteration/``items`` span shards (shard order, insertion
+  order within a shard) — not the global insertion order;
+* ``popitem(last=False)`` evicts the oldest entry of the *fullest*
+  shard, because "globally oldest" is exactly the cross-shard
+  coordination a sharded deployment avoids.
+
+Capacity-pressure eviction is therefore approximate under sharding —
+the documented trade: parity holds whenever capacity limits are not
+hit, which is the operating regime the limits are sized for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.state.sharding import HashRing
+from repro.state.snapshot import check_snapshot
+from repro.state.store import (
+    SNAPSHOT_FORMAT,
+    AdmissionStateStore,
+    InMemoryStateStore,
+    StateNamespace,
+)
+
+__all__ = ["ShardedStateStore", "ShardedNamespace"]
+
+
+class ShardedNamespace:
+    """Namespace view routing each key to its owning shard."""
+
+    __slots__ = ("name", "_ring", "_tables")
+
+    def __init__(
+        self, name: str, ring: HashRing, stores: list[AdmissionStateStore]
+    ) -> None:
+        self.name = name
+        self._ring = ring
+        self._tables: list[StateNamespace] = [
+            store.namespace(name) for store in stores
+        ]
+
+    def _table(self, key: str) -> StateNamespace:
+        return self._tables[self._ring.shard_for(key)]
+
+    # -- keyed operations (shard-local, parity-exact) ------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._table(key).get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._table(key)[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._table(key)[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._table(key)[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._table(key)
+
+    def pop(self, key: str, *default: Any) -> Any:
+        return self._table(key).pop(key, *default)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self._table(key).setdefault(key, default)
+
+    def move_to_end(self, key: str) -> None:
+        self._table(key).move_to_end(key)
+
+    # -- aggregate operations (span shards) ----------------------------
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    def __iter__(self) -> Iterator[str]:
+        for table in self._tables:
+            yield from table
+
+    def keys(self):
+        return iter(self)
+
+    def items(self):
+        for table in self._tables:
+            yield from table.items()
+
+    def clear(self) -> None:
+        for table in self._tables:
+            table.clear()
+
+    def popitem(self, last: bool = True) -> tuple[str, Any]:
+        candidates = [table for table in self._tables if len(table)]
+        if not candidates:
+            raise KeyError("popitem(): namespace is empty")
+        victim = max(candidates, key=len)
+        return victim.popitem(last=last)
+
+
+class ShardedStateStore(AdmissionStateStore):
+    """Partitions every namespace over ``shards`` child stores.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions, or an explicit list of child stores
+        (defaults to fresh :class:`InMemoryStateStore` children).
+    replicas:
+        Virtual nodes per shard on the routing ring; must match the
+        gateway cluster's ring for store/worker routing to agree
+        (both default to 64).
+    """
+
+    def __init__(
+        self,
+        shards: int | list[AdmissionStateStore],
+        replicas: int = 64,
+    ) -> None:
+        if isinstance(shards, int):
+            self.stores: list[AdmissionStateStore] = [
+                InMemoryStateStore() for _ in range(shards)
+            ]
+        else:
+            if not shards:
+                raise ValueError("need at least one child store")
+            self.stores = list(shards)
+        self.ring = HashRing(len(self.stores), replicas=replicas)
+        self._namespaces: dict[str, ShardedNamespace] = {}
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.stores)
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key`` (exposed for routing tests)."""
+        return self.ring.shard_for(key)
+
+    def namespace(self, name: str) -> ShardedNamespace:
+        table = self._namespaces.get(name)
+        if table is None:
+            table = self._namespaces[name] = ShardedNamespace(
+                name, self.ring, self.stores
+            )
+        return table
+
+    def namespaces(self) -> tuple[str, ...]:
+        names: dict[str, None] = {}
+        for store in self.stores:
+            for name in store.namespaces():
+                names.setdefault(name)
+        return tuple(names)
+
+    def snapshot(self) -> dict:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "kind": "sharded",
+            "replicas": self.ring.replicas,
+            "shards": [store.snapshot() for store in self.stores],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        check_snapshot(snapshot, kind="sharded")
+        shards = snapshot.get("shards", [])
+        if len(shards) != len(self.stores):
+            raise ValueError(
+                f"snapshot has {len(shards)} shards, store has "
+                f"{len(self.stores)}; re-split it with "
+                "repro.state.snapshot.split_snapshot / `repro state restore`"
+            )
+        for store, shard_snapshot in zip(self.stores, shards):
+            store.restore(shard_snapshot)
+
+    def clear(self) -> None:
+        for store in self.stores:
+            store.clear()

@@ -1,0 +1,82 @@
+"""Deterministic keyspace partitioning shared by store and gateway.
+
+Both the single-process :class:`~repro.state.sharded.ShardedStateStore`
+and the multi-worker gateway router must send a given client IP to the
+same shard — in different processes, on different days.  Python's
+built-in ``hash()`` is salted per process, so routing is built on a
+keyed-nothing BLAKE2b digest instead.
+
+:class:`HashRing` is a classic consistent-hash ring with virtual nodes:
+each shard owns ``replicas`` points on a 64-bit ring and a key belongs
+to the first shard point clockwise from the key's hash.  For a fixed
+shard count this is simply a stable partition; the ring shape is what
+keeps future PRs cheap — adding a shard moves only ``~1/(n+1)`` of the
+keyspace instead of reshuffling everything, which is the property
+replication and live resharding will build on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["stable_hash", "HashRing", "shard_for"]
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to shard indices.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (>= 1).
+    replicas:
+        Virtual nodes per shard; more replicas smooth the partition at
+        the cost of a larger (still tiny) ring.
+    """
+
+    __slots__ = ("shards", "replicas", "_points", "_owners")
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append(
+                    (stable_hash(f"shard:{shard}:vnode:{replica}"), shard)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+#: Ring cache: the gateway router and every worker build the same ring.
+_RING_CACHE: dict[tuple[int, int], HashRing] = {}
+
+
+def shard_for(key: str, shards: int, replicas: int = 64) -> int:
+    """Module-level routing helper with a memoised ring per shape."""
+    ring = _RING_CACHE.get((shards, replicas))
+    if ring is None:
+        ring = _RING_CACHE[(shards, replicas)] = HashRing(shards, replicas)
+    return ring.shard_for(key)

@@ -1,0 +1,184 @@
+"""The admission state store interface and its in-memory backend.
+
+A store is a set of named :class:`StateNamespace` tables.  Components
+hold the namespace object directly (one attribute lookup away from the
+raw dict they used to own), so the hot path pays nothing for the
+indirection — what the store adds is the cold path: the whole mutable
+surface of a framework can be snapshotted, restored, partitioned and
+inspected through one object.
+
+Contract
+--------
+* Keys are strings (client IPs, puzzle seeds, well-known singletons).
+* Values are JSON-safe: numbers, strings, booleans, or (nested) lists
+  of those.  Components that used to store dataclasses store small
+  lists instead (e.g. ``[offset, updated_at]``) and mutate them in
+  place — a snapshot deep-copies, so later mutation never corrupts it.
+* Namespaces preserve insertion order and support the LRU primitives
+  (``move_to_end``, ``popitem``) the caching components rely on.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any, Iterator
+
+__all__ = ["StateNamespace", "AdmissionStateStore", "InMemoryStateStore"]
+
+#: Snapshot document version; bump when the layout changes.
+SNAPSHOT_FORMAT = 1
+
+
+class StateNamespace:
+    """One ordered keyed table inside a store (e.g. ``feedback``).
+
+    Deliberately duck-typed like :class:`collections.OrderedDict` so
+    porting a component is a constructor change, not a rewrite.
+    """
+
+    __slots__ = ("name", "_entries")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    # -- mapping surface ----------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._entries[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._entries[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def keys(self):
+        return self._entries.keys()
+
+    def items(self):
+        return self._entries.items()
+
+    def pop(self, key: str, *default: Any) -> Any:
+        return self._entries.pop(key, *default)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self._entries.setdefault(key, default)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- LRU primitives -----------------------------------------------
+    def move_to_end(self, key: str) -> None:
+        self._entries.move_to_end(key)
+
+    def popitem(self, last: bool = True) -> tuple[str, Any]:
+        return self._entries.popitem(last=last)
+
+    # -- snapshot plumbing --------------------------------------------
+    def dump(self) -> list[list[Any]]:
+        """Entries as an order-preserving, JSON-safe list of pairs."""
+        return [[key, copy.deepcopy(value)] for key, value in self._entries.items()]
+
+    def load(self, entries) -> None:
+        """Replace the table's content with :meth:`dump` output."""
+        self._entries.clear()
+        for key, value in entries:
+            self._entries[str(key)] = copy.deepcopy(value)
+
+
+class AdmissionStateStore:
+    """Interface of the state layer; also the shared base class.
+
+    Backends must provide :meth:`namespace` (creating on first use),
+    :meth:`namespaces`, :meth:`snapshot`, :meth:`restore`, and
+    :meth:`clear`.  ``get``/``put``/``mutate`` convenience wrappers are
+    provided here in terms of :meth:`namespace` for callers that do not
+    want to hold a namespace object.
+    """
+
+    def namespace(self, name: str) -> StateNamespace:
+        raise NotImplementedError
+
+    def namespaces(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """The whole store as one JSON-safe document."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the store's content with :meth:`snapshot` output."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    # -- convenience keyed access -------------------------------------
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        return self.namespace(namespace).get(key, default)
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        self.namespace(namespace)[key] = value
+
+    def mutate(self, namespace: str, key: str, fn, default: Any = None) -> Any:
+        """Apply ``fn(current_value_or_default)`` and store the result."""
+        table = self.namespace(namespace)
+        value = fn(table.get(key, default))
+        table[key] = value
+        return value
+
+
+class InMemoryStateStore(AdmissionStateStore):
+    """Process-local backend: namespaces over ordered dicts."""
+
+    def __init__(self) -> None:
+        self._namespaces: dict[str, StateNamespace] = {}
+
+    def namespace(self, name: str) -> StateNamespace:
+        table = self._namespaces.get(name)
+        if table is None:
+            table = self._namespaces[name] = StateNamespace(name)
+        return table
+
+    def namespaces(self) -> tuple[str, ...]:
+        return tuple(self._namespaces)
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._namespaces.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "kind": "memory",
+            "namespaces": {
+                name: table.dump()
+                for name, table in self._namespaces.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        from repro.state.snapshot import check_snapshot
+
+        check_snapshot(snapshot, kind="memory")
+        self.clear()
+        for name, entries in snapshot.get("namespaces", {}).items():
+            self.namespace(name).load(entries)
+
+    def clear(self) -> None:
+        # Clear in place: components hold namespace objects by
+        # reference, so dropping the tables would silently detach them.
+        for table in self._namespaces.values():
+            table.clear()

@@ -1,0 +1,326 @@
+"""Tests for the multi-worker gateway cluster and shard parity.
+
+The load-bearing property: admission through N workers, each owning
+one state shard, must decide exactly what one process deciding alone
+would — same scores, same difficulties, request for request.  The
+in-process tests prove it over a stateful trace (feedback penalties
+and rewards included) without any sockets; the live tests prove the
+whole fd-passing cluster honours it, plus lifecycle behaviour
+(graceful SIGTERM, state-dir persistence, metrics aggregation).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.records import ClientRequest
+from repro.core.spec import FrameworkSpec
+from repro.net.gateway.cluster import GatewayCluster, make_shed_policy
+from repro.net.live.client import LiveClient
+from repro.pow.puzzle import Solution
+from repro.pow.solver import HashSolver
+from repro.reputation.dataset import generate_corpus
+from repro.state import HashRing
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+#: Small corpus + frozen offsets: cheap worker boots, timing-free parity.
+SPEC = FrameworkSpec(
+    policy="policy-1",
+    corpus_size=1200,
+    feedback_half_life=float("inf"),
+)
+
+
+@pytest.fixture(scope="module")
+def examples():
+    _, test = generate_corpus(size=1200, seed=7).split()
+    ranked = sorted(test, key=lambda example: example.true_score)
+    # A spread of reputations, but low enough that honest solving in
+    # the live tests stays fast.
+    return ranked[:: max(1, len(ranked) // 8)][:6]
+
+
+def hostile_solution(challenge) -> Solution:
+    """A solution that is *deterministically* rejected.
+
+    Naming a different puzzle seed fails the integrity check on every
+    run; a merely-wrong nonce would accidentally satisfy a low
+    difficulty with probability ``2**-d``, making outcomes depend on
+    the (random) puzzle seed.
+    """
+    wrong_seed = "00" * (len(challenge.puzzle.seed) // 2)
+    if wrong_seed == challenge.puzzle.seed:  # pragma: no cover
+        wrong_seed = "ff" * (len(challenge.puzzle.seed) // 2)
+    return Solution(
+        puzzle_seed=wrong_seed, nonce=0, attempts=1, elapsed=0.0
+    )
+
+
+def replay_trace(framework, trace):
+    """Drive (ip, features, honest) exchanges; return the decisions.
+
+    ``honest`` exchanges are solved for real (SERVED feeds the reward
+    path); dishonest ones submit a guaranteed-invalid solution
+    (REJECTED feeds the penalty path).  Returns one
+    (score, difficulty) pair per request — exact floats, no rounding.
+    """
+    solver = HashSolver()
+    decisions = []
+    for index, (ip, features, honest) in enumerate(trace):
+        request = ClientRequest(
+            client_ip=ip,
+            resource="/index.html",
+            timestamp=1_000.0 + index,
+            features=features,
+        )
+        challenge = framework.challenge(request, now=request.timestamp)
+        decision = challenge.decision
+        decisions.append(
+            (decision.reputation_score, decision.difficulty)
+        )
+        if honest and challenge.puzzle.difficulty <= 12:
+            solution = solver.solve(challenge.puzzle, ip)
+        else:
+            solution = hostile_solution(challenge)
+        framework.redeem(challenge, solution, now=request.timestamp + 0.5)
+    return decisions
+
+
+def build_trace(examples, rounds=4):
+    """Per-IP request sequences with mixed honest/hostile behaviour."""
+    trace = []
+    for round_index in range(rounds):
+        for client, example in enumerate(examples):
+            ip = f"10.42.0.{client + 1}"
+            honest = (client + round_index) % 3 != 0
+            trace.append((ip, example.features, honest))
+    return trace
+
+
+class TestInProcessShardParity:
+    def test_four_shards_decide_like_one_process(self, examples):
+        trace = build_trace(examples)
+        single = SPEC.build()
+        expected = replay_trace(single, trace)
+
+        shards = [SPEC.build() for _ in range(4)]
+        ring = HashRing(4)
+        solver = HashSolver()
+        actual = []
+        for index, (ip, features, honest) in enumerate(trace):
+            framework = shards[ring.shard_for(ip)]
+            request = ClientRequest(
+                client_ip=ip,
+                resource="/index.html",
+                timestamp=1_000.0 + index,
+                features=features,
+            )
+            challenge = framework.challenge(request, now=request.timestamp)
+            decision = challenge.decision
+            actual.append(
+                (decision.reputation_score, decision.difficulty)
+            )
+            if honest and challenge.puzzle.difficulty <= 12:
+                solution = solver.solve(challenge.puzzle, ip)
+            else:
+                solution = hostile_solution(challenge)
+            framework.redeem(
+                challenge, solution, now=request.timestamp + 0.5
+            )
+
+        # Bit-identical, not approximately equal: same scores, same
+        # difficulties, request for request.
+        assert actual == expected
+
+    def test_trace_actually_exercises_state(self, examples):
+        # Guard against a vacuous parity test: the trace must shift
+        # offsets enough to change at least one client's difficulty.
+        trace = build_trace(examples)
+        decisions = replay_trace(SPEC.build(), trace)
+        by_client: dict[int, set[int]] = {}
+        clients = len(examples)
+        for index, (_score, difficulty) in enumerate(decisions):
+            by_client.setdefault(index % clients, set()).add(difficulty)
+        assert any(len(diffs) > 1 for diffs in by_client.values())
+
+
+class TestMakeShedPolicy:
+    def test_known_names(self):
+        assert make_shed_policy("drop-newest").name == "drop-newest"
+        assert make_shed_policy("drop-reputation").name == "drop-reputation"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_shed_policy("drop-everything")
+
+
+class TestClusterValidation:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            GatewayCluster(SPEC, workers=0)
+
+    def test_rejects_bad_shed_policy_before_spawning(self):
+        with pytest.raises(ValueError):
+            GatewayCluster(SPEC, workers=2, shed_policy="nope")
+
+    def test_address_requires_start(self):
+        cluster = GatewayCluster(SPEC, workers=1)
+        with pytest.raises(RuntimeError):
+            cluster.address
+
+    def test_stop_before_start_is_noop(self):
+        GatewayCluster(SPEC, workers=1).stop()
+
+    def test_start_rejects_mismatched_state_dir_before_spawning(
+        self, tmp_path
+    ):
+        # A warmed state directory split for another worker count must
+        # fail loudly at start, not silently cold-start the workers.
+        from repro.state import (
+            InMemoryStateStore,
+            split_snapshot,
+            write_shard_files,
+        )
+
+        store = InMemoryStateStore()
+        store.put("feedback", "10.0.0.1", [1.0, 0.0])
+        write_shard_files(tmp_path, split_snapshot(store.snapshot(), 4))
+        cluster = GatewayCluster(SPEC, workers=2, state_dir=tmp_path)
+        with pytest.raises(ValueError, match="re-split"):
+            cluster.start()
+
+
+@pytest.mark.slow
+class TestClusterLive:
+    def test_round_trip_snapshot_and_metrics(self, tmp_path, examples):
+        features = dict(examples[0].features)
+        state_dir = tmp_path / "state"
+        ips = [f"127.0.0.{i}" for i in range(1, 5)]
+        with GatewayCluster(
+            SPEC, workers=2, state_dir=state_dir
+        ) as cluster:
+            for ip in ips:
+                result = LiveClient(
+                    cluster.address, source_ip=ip
+                ).fetch("/index.html", features)
+                assert result.ok, result
+                assert result.body == "resource:/index.html"
+        assert cluster.exit_codes == [0, 0]
+
+        summary = cluster.metrics_summary
+        assert summary["workers"] == 2
+        assert summary["admitted"] == len(ips)
+        assert summary["shed"] == 0
+        assert len(summary["per_worker"]) == 2
+
+        # Every worker persisted its shard; each served IP's feedback
+        # offset landed on the shard the ring routes it to.
+        from repro.state import read_shard_files
+
+        shards = read_shard_files(state_dir, shards=2)
+        assert len(shards) == 2
+        for ip in ips:
+            owner = cluster.ring.shard_for(ip)
+            entries = dict(
+                (key, value)
+                for key, value in shards[owner]["namespaces"]["feedback"]
+            )
+            assert ip in entries
+            assert entries[ip][0] == pytest.approx(-0.1)
+
+    def test_live_cluster_matches_single_process_decisions(self, examples):
+        ips = [f"127.0.0.{i}" for i in range(1, len(examples) + 1)]
+        rounds = 3
+
+        # Expected: the same per-IP exchange sequences through one
+        # in-process framework (every exchange honest and served).
+        single = SPEC.build()
+        expected: dict[str, list[int]] = {ip: [] for ip in ips}
+        solver = HashSolver()
+        for round_index in range(rounds):
+            for ip, example in zip(ips, examples):
+                request = ClientRequest(
+                    client_ip=ip,
+                    resource="/index.html",
+                    timestamp=1_000.0 + round_index,
+                    features=example.features,
+                )
+                challenge = single.challenge(
+                    request, now=request.timestamp
+                )
+                expected[ip].append(challenge.decision.difficulty)
+                single.redeem(
+                    challenge,
+                    solver.solve(challenge.puzzle, ip),
+                    now=request.timestamp + 0.1,
+                )
+
+        def drive(workers: int) -> dict[str, list[int]]:
+            observed: dict[str, list[int]] = {ip: [] for ip in ips}
+            with GatewayCluster(SPEC, workers=workers) as cluster:
+                for _round in range(rounds):
+                    for ip, example in zip(ips, examples):
+                        result = LiveClient(
+                            cluster.address, source_ip=ip
+                        ).fetch("/index.html", dict(example.features))
+                        assert result.ok, (ip, result)
+                        observed[ip].append(result.difficulty)
+            assert cluster.exit_codes == [0] * workers
+            return observed
+
+        # The same trace through a 1-worker and a 4-worker gateway must
+        # match each other *and* the in-process single framework.
+        assert drive(1) == expected
+        assert drive(4) == expected
+
+
+@pytest.mark.slow
+class TestServeSigterm:
+    def test_multi_worker_serve_drains_on_sigterm(self, tmp_path):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workers", "2", "--port", "0",
+                "--policy", "policy-1",
+                "--state-dir", str(tmp_path / "state"),
+            ],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = ""
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if "serving AI-assisted PoW on " in line:
+                    banner = line
+                    break
+            assert banner, "serve never printed its banner"
+
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60.0)
+            output = proc.stdout.read()
+            assert code == 0, output
+            assert "shutting down" in output
+            # Graceful worker exits persisted the (empty-but-present)
+            # shard snapshots.
+            assert sorted(
+                p.name for p in (tmp_path / "state").glob("*.json")
+            ) == ["shard-0-of-2.json", "shard-1-of-2.json"]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -241,6 +241,72 @@ class TestLoadAdaptive:
         with pytest.raises(ValueError):
             LoadAdaptivePolicy(FixedPolicy(0), smoothing=0.0)
 
+    def test_bind_store_carries_current_estimate(self):
+        from repro.state import InMemoryStateStore
+
+        policy = LoadAdaptivePolicy(FixedPolicy(0), smoothing=1.0)
+        policy.observe_load(0.6)
+        store = InMemoryStateStore()
+        policy.bind_store(store)
+        assert policy.load == pytest.approx(0.6)
+        assert store.get("policy-load", "load") == pytest.approx(0.6)
+        policy.observe_load(1.0)
+        assert store.get("policy-load", "load") == 1.0
+
+    def test_bind_store_prefers_restored_value(self):
+        from repro.state import InMemoryStateStore
+
+        store = InMemoryStateStore()
+        store.put("policy-load", "load", 0.9)
+        policy = LoadAdaptivePolicy(FixedPolicy(0), initial_load=0.1)
+        policy.bind_store(store)
+        assert policy.load == pytest.approx(0.9)
+
+    def test_framework_adopts_nested_adaptive_policy_state(self):
+        from repro.core.framework import AIPoWFramework
+        from repro.reputation.ensemble import ConstantModel
+
+        policy = LoadAdaptivePolicy(
+            FixedPolicy(2), max_surcharge=8, smoothing=1.0
+        )
+        framework = AIPoWFramework(ConstantModel(3.0), policy)
+        assert policy.store is framework.store
+        policy.observe_load(1.0)
+        snapshot = framework.snapshot()
+        assert dict(snapshot["namespaces"]["policy-load"])["load"] == 1.0
+
+        restored_policy = LoadAdaptivePolicy(
+            FixedPolicy(2), max_surcharge=8, smoothing=1.0
+        )
+        restored = AIPoWFramework(ConstantModel(3.0), restored_policy)
+        restored.restore(snapshot)
+        assert restored_policy.load == 1.0
+        assert restored_policy.surcharge() == 8
+
+    def test_nested_adaptive_policies_keep_distinct_estimates(self):
+        from repro.core.framework import AIPoWFramework
+        from repro.reputation.ensemble import ConstantModel
+
+        inner = LoadAdaptivePolicy(
+            FixedPolicy(0), max_surcharge=4, initial_load=0.5,
+            smoothing=1.0,
+        )
+        outer = LoadAdaptivePolicy(inner, max_surcharge=2, smoothing=1.0)
+        framework = AIPoWFramework(ConstantModel(3.0), outer)
+        # Both wrappers live in the framework store, under distinct
+        # namespaces, with their own estimates intact.
+        assert inner.store is framework.store
+        assert outer.store is framework.store
+        assert inner.load == pytest.approx(0.5)
+        assert outer.load == pytest.approx(0.0)
+        rng = random.Random(0)
+        assert outer.difficulty_for(5.0, rng) == 2  # ceil(4*0.5) + 0
+        outer.observe_load(1.0)
+        assert inner.load == pytest.approx(0.5)  # unaffected
+        namespaces = framework.snapshot()["namespaces"]
+        own = [n for n in namespaces if n.startswith("policy-load")]
+        assert len(own) == 2
+
 
 @given(scores)
 def test_all_builtin_policies_nonnegative_property(score):

@@ -1,0 +1,112 @@
+"""Cache coherence between the score cache and behavioural feedback.
+
+The bug these tests pin down: with ``CachedModel`` wrapping a
+``FeedbackReputationModel``, a cached feedback-adjusted score kept
+being served after ``observe()`` shifted the IP's offset — an attacker
+racking up penalties stayed at their pre-penalty score until the cache
+TTL expired.  The fix subscribes the cache's ``invalidate`` to the
+feedback model's offset-change announcements.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ClientRequest, IssuerDecision, ResponseStatus, ServedResponse
+from repro.reputation.caching import CachedModel
+from repro.reputation.ensemble import ConstantModel
+from repro.reputation.feedback import FeedbackConfig, FeedbackReputationModel
+
+
+def request_at(t: float, ip: str = "9.9.9.9") -> ClientRequest:
+    return ClientRequest(
+        client_ip=ip, resource="/r", timestamp=t, features={}
+    )
+
+
+def response_for(
+    request: ClientRequest, status: ResponseStatus
+) -> ServedResponse:
+    decision = IssuerDecision(
+        request=request,
+        reputation_score=4.0,
+        difficulty=8,
+        policy_name="p",
+        model_name="m",
+    )
+    return ServedResponse(
+        decision=decision, status=status, latency=0.0, solve_attempts=1
+    )
+
+
+class TestCacheOverFeedbackCoherence:
+    def make_stack(self):
+        feedback = FeedbackReputationModel(
+            ConstantModel(4.0),
+            FeedbackConfig(penalty_step=2.0, half_life=float("inf")),
+        )
+        cached = CachedModel(feedback, ttl=1e9)
+        return feedback, cached
+
+    def test_penalty_invalidates_cached_entry(self):
+        feedback, cached = self.make_stack()
+        request = request_at(0.0)
+        assert cached.score_request(request) == 4.0
+        feedback.observe(response_for(request, ResponseStatus.REJECTED))
+        # Without invalidation the stale 4.0 would be served until TTL.
+        assert cached.score_request(request_at(1.0)) == 6.0
+
+    def test_reward_invalidates_cached_entry(self):
+        feedback, cached = self.make_stack()
+        request = request_at(0.0)
+        assert cached.score_request(request) == 4.0
+        feedback.observe(response_for(request, ResponseStatus.SERVED))
+        assert cached.score_request(request_at(1.0)) == 3.9
+
+    def test_neutral_outcomes_keep_the_cache_warm(self):
+        feedback, cached = self.make_stack()
+        request = request_at(0.0)
+        cached.score_request(request)
+        feedback.observe(response_for(request, ResponseStatus.ABANDONED))
+        cached.score_request(request_at(1.0))
+        assert cached.hits == 1
+
+    def test_other_ips_stay_cached(self):
+        feedback, cached = self.make_stack()
+        victim = request_at(0.0, ip="9.9.9.9")
+        bystander = request_at(0.0, ip="8.8.8.8")
+        cached.score_request(victim)
+        cached.score_request(bystander)
+        feedback.observe(response_for(victim, ResponseStatus.REJECTED))
+        cached.score_request(request_at(1.0, ip="8.8.8.8"))
+        assert cached.hits == 1
+
+    def test_batch_path_sees_the_shift_too(self):
+        feedback, cached = self.make_stack()
+        request = request_at(0.0)
+        assert cached.score_requests([request])[0] == 4.0
+        feedback.observe(response_for(request, ResponseStatus.REJECTED))
+        assert cached.score_requests([request_at(1.0)])[0] == 6.0
+
+    def test_nested_chain_is_discovered(self):
+        # cache(cache(feedback(...))): both caches must invalidate.
+        feedback = FeedbackReputationModel(
+            ConstantModel(4.0),
+            FeedbackConfig(penalty_step=2.0, half_life=float("inf")),
+        )
+        stack = CachedModel(CachedModel(feedback, ttl=1e9), ttl=1e9)
+        request = request_at(0.0)
+        assert stack.score_request(request) == 4.0
+        feedback.observe(response_for(request, ResponseStatus.REJECTED))
+        assert stack.score_request(request_at(1.0)) == 6.0
+
+    def test_recommended_order_is_unaffected(self):
+        # feedback(cache(base)): offset applied outside the cache, so a
+        # shift is visible immediately and the cache keeps its hit.
+        cached = CachedModel(ConstantModel(4.0), ttl=1e9)
+        feedback = FeedbackReputationModel(
+            cached, FeedbackConfig(penalty_step=2.0, half_life=float("inf"))
+        )
+        request = request_at(0.0)
+        assert feedback.score_request(request) == 4.0
+        feedback.observe(response_for(request, ResponseStatus.REJECTED))
+        assert feedback.score_request(request_at(1.0)) == 6.0
+        assert cached.hits == 1

@@ -28,6 +28,13 @@ class TestParser:
                 "--max-batch", "32", "--queue-limit", "128",
                 "--shed-policy", "drop-reputation",
             ],
+            ["serve", "--workers", "4", "--state-dir", "/tmp/state"],
+            ["state", "snapshot", "--state-dir", "d", "--out", "f"],
+            [
+                "state", "restore", "--snapshot", "f",
+                "--state-dir", "d", "--workers", "4",
+            ],
+            ["state", "show", "somewhere"],
             ["all"],
         ],
     )
@@ -114,3 +121,97 @@ class TestCommands:
 
         data = json.loads((out_dir / "cal31.json").read_text())
         assert data["experiment_id"] == "cal31"
+
+
+class TestStateCommands:
+    def _seed_state_dir(self, state_dir, shards=2):
+        from repro.state import (
+            InMemoryStateStore,
+            split_snapshot,
+            write_shard_files,
+        )
+
+        store = InMemoryStateStore()
+        for i in range(10):
+            store.put("feedback", f"10.0.0.{i}", [float(i), 0.0])
+        write_shard_files(
+            state_dir, split_snapshot(store.snapshot(), shards)
+        )
+
+    def test_snapshot_merges_state_dir(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        self._seed_state_dir(state_dir)
+        out = tmp_path / "merged.json"
+        code = main([
+            "state", "snapshot",
+            "--state-dir", str(state_dir), "--out", str(out),
+        ])
+        assert code == 0
+        assert "merged 2 shard(s)" in capsys.readouterr().out
+
+        from repro.state import InMemoryStateStore, load_snapshot
+
+        restored = InMemoryStateStore()
+        restored.restore(load_snapshot(out))
+        assert len(restored.namespace("feedback")) == 10
+
+    def test_snapshot_of_empty_dir_fails(self, tmp_path, capsys):
+        code = main([
+            "state", "snapshot",
+            "--state-dir", str(tmp_path), "--out", str(tmp_path / "o"),
+        ])
+        assert code == 1
+
+    def test_restore_resplits_for_new_worker_count(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        self._seed_state_dir(state_dir, shards=2)
+        merged = tmp_path / "merged.json"
+        main([
+            "state", "snapshot",
+            "--state-dir", str(state_dir), "--out", str(merged),
+        ])
+        resharded = tmp_path / "resharded"
+        code = main([
+            "state", "restore", "--snapshot", str(merged),
+            "--state-dir", str(resharded), "--workers", "4",
+        ])
+        assert code == 0
+        from repro.state import read_shard_files
+
+        parts = read_shard_files(resharded, shards=4)
+        total = sum(
+            len(part["namespaces"].get("feedback", [])) for part in parts
+        )
+        assert total == 10
+
+    def test_show_summarises_directory(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        self._seed_state_dir(state_dir)
+        code = main(["state", "show", str(state_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard 0" in out
+        assert "feedback" in out
+
+    def test_missing_paths_fail_cleanly(self, tmp_path, capsys):
+        code = main([
+            "state", "restore", "--snapshot", str(tmp_path / "no.json"),
+            "--state-dir", str(tmp_path / "d"), "--workers", "2",
+        ])
+        assert code == 2
+        code = main(["state", "show", str(tmp_path / "no.json")])
+        assert code == 2
+        # Error style: one printed line, no traceback (the command
+        # returned instead of raising).
+        assert "Traceback" not in capsys.readouterr().out
+
+    def test_show_reads_a_single_shard_file(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        self._seed_state_dir(state_dir)
+        shard_file = next(iter(sorted(state_dir.glob("*.json"))))
+        code = main(["state", "show", str(shard_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard 0 of 2" in out
+        assert "feedback" in out
+        assert "(empty)" not in out

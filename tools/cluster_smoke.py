@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI smoke: the multi-worker gateway's full operational story.
+
+Exercises ``repro serve --workers 2 --state-dir`` the way an operator
+would, end to end:
+
+1. boot a 2-worker cluster with a state directory;
+2. run one full request → puzzle → solve → redeem round-trip with an
+   unmodified :class:`~repro.net.live.client.LiveClient`;
+3. SIGTERM; require exit 0 and per-shard snapshot files on disk;
+4. merge the shards with ``repro state snapshot`` and check the served
+   client's warmed feedback offset is in the snapshot;
+5. boot the cluster *again* on the same state directory, round-trip
+   once more, SIGTERM;
+6. require the client's offset to have kept accumulating across the
+   restart — the warmed reputation table survived.
+
+Exits non-zero on any failure, so it can gate CI directly:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import queue
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+STARTUP_TIMEOUT = 180.0
+SHUTDOWN_TIMEOUT = 60.0
+
+
+class ServeProcess:
+    """One foreground ``repro serve`` run with banner/exit handling."""
+
+    def __init__(self, state_dir: pathlib.Path) -> None:
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workers", "2", "--port", "0",
+                "--policy", "policy-1",
+                "--state-dir", str(state_dir),
+            ],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: queue.Queue = queue.Queue()
+        threading.Thread(target=self._pump, daemon=True).start()
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            self.lines.put(line)
+        self.lines.put(None)
+
+    def wait_address(self) -> tuple[str, int]:
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"no serve banner within {STARTUP_TIMEOUT:.0f}s"
+                )
+            try:
+                line = self.lines.get(timeout=remaining)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"no serve banner within {STARTUP_TIMEOUT:.0f}s"
+                ) from None
+            if line is None:
+                raise RuntimeError(
+                    f"serve exited before banner: {self.proc.poll()}"
+                )
+            print("serve:", line, end="")
+            if "serving AI-assisted PoW on " in line:
+                address = line.split(" on ", 1)[1].split()[0]
+                host, port = address.rsplit(":", 1)
+                return host, int(port)
+
+    def terminate(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        while True:
+            line = self.lines.get()
+            if line is None:
+                break
+            print("serve:", line, end="")
+        return code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def feedback_offset(snapshot_path: pathlib.Path, ip: str):
+    """The warmed feedback offset for ``ip`` in a merged snapshot."""
+    document = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    for key, state in document["namespaces"].get("feedback", []):
+        if key == ip:
+            return state[0]
+    return None
+
+
+def run_state_snapshot(state_dir: pathlib.Path, out: pathlib.Path) -> None:
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "state", "snapshot",
+            "--state-dir", str(state_dir), "--out", str(out),
+        ],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        check=True,
+    )
+
+
+def round_trip(address: tuple[str, int]) -> None:
+    from repro.net.live.client import LiveClient
+    from repro.reputation.features import FEATURE_NAMES
+
+    features = {name: 0.0 for name in FEATURE_NAMES}
+    result = LiveClient(address).fetch("/healthz", features)
+    print(
+        f"round-trip: ok={result.ok} difficulty={result.difficulty} "
+        f"attempts={result.attempts} latency={result.latency:.3f}s"
+    )
+    if not result.ok or result.body != "resource:/healthz":
+        raise RuntimeError(f"round-trip failed: {result}")
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as tmp:
+        state_dir = pathlib.Path(tmp) / "state"
+        merged = pathlib.Path(tmp) / "merged.json"
+
+        server = ServeProcess(state_dir)
+        try:
+            round_trip(server.wait_address())
+            code = server.terminate()
+            print("first run exited with", code)
+            if code != 0:
+                return 1
+        finally:
+            server.kill()
+
+        shard_files = sorted(p.name for p in state_dir.glob("*.json"))
+        print("shard snapshots:", shard_files)
+        if shard_files != ["shard-0-of-2.json", "shard-1-of-2.json"]:
+            print("expected one snapshot per worker")
+            return 1
+
+        run_state_snapshot(state_dir, merged)
+        first = feedback_offset(merged, "127.0.0.1")
+        print("warmed offset after run 1:", first)
+        if first is None or first >= 0:
+            print("served exchange should have earned a negative offset")
+            return 1
+
+        server = ServeProcess(state_dir)
+        try:
+            round_trip(server.wait_address())
+            code = server.terminate()
+            print("second run exited with", code)
+            if code != 0:
+                return 1
+        finally:
+            server.kill()
+
+        run_state_snapshot(state_dir, merged)
+        second = feedback_offset(merged, "127.0.0.1")
+        print("warmed offset after restart:", second)
+        if second is None or not second < first:
+            print("offset should keep accumulating across the restart")
+            return 1
+
+    print("cluster smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
