@@ -1,0 +1,64 @@
+"""Bench: trace replay at accelerated timestamps vs recorded pacing.
+
+The acceptance gate of the record/replay tier: replaying a recorded
+campaign workload as fast as the pipeline admits must sustain at least
+3x the throughput of the same replay paced at its recorded
+inter-arrival gaps — while staying bit-identical to the recording in
+both modes.  The pytest-benchmark variant archives the absolute
+accelerated-replay cost; the plain test enforces the ratio so it also
+runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replay import TraceReplayer, diff_decisions, run_campaign
+
+MIN_SPEEDUP = 3.0
+
+#: Recorded-time pacing (speed 1.0): the paced replay honours the
+#: trace's real inter-arrival gaps, exactly what `repro replay
+#: --speed 1` does.
+PACE_SPEED = 1.0
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return run_campaign("flood-burst").trace
+
+
+def test_accelerated_replay_3x_recorded_pacing(recorded):
+    """The tentpole gate: >=3x accelerated vs recorded-time pacing,
+    both replays bit-identical to the recording."""
+    reference = recorded.decisions()
+    paced = TraceReplayer(recorded, speed=PACE_SPEED).run()
+    accelerated = TraceReplayer(recorded).run()
+
+    assert diff_decisions(reference, paced.decisions).identical
+    assert diff_decisions(reference, accelerated.decisions).identical
+
+    speedup = accelerated.throughput / paced.throughput
+    assert speedup >= MIN_SPEEDUP, (
+        f"accelerated replay speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP:.0f}x floor (paced {paced.throughput:.0f} rps, "
+        f"accelerated {accelerated.throughput:.0f} rps)"
+    )
+
+
+def test_replay_throughput_accelerated(benchmark, recorded):
+    """Archive the accelerated replay cost of one recorded campaign."""
+    result = benchmark(lambda: TraceReplayer(recorded).run())
+    assert len(result.decisions) == len(recorded)
+    benchmark.extra_info["rps"] = result.throughput
+
+
+def test_replay_experiment_end_to_end(recorded):
+    """The registered `thr-replay` experiment reports a passing gate."""
+    from repro.bench.replay import run_replay_throughput
+
+    result = run_replay_throughput()
+    assert result.experiment_id == "thr-replay"
+    assert result.extra["paced_identical"] is True
+    assert result.extra["accelerated_identical"] is True
+    assert result.extra["speedup"] >= MIN_SPEEDUP

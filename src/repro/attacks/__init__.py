@@ -1,5 +1,7 @@
 """Attack models: adversaries for the throttling experiments."""
 
+from typing import Any, Mapping
+
 from repro.attacks.adaptive import AdaptiveAttacker
 from repro.attacks.base import AttackerModel
 from repro.attacks.botnet import BotnetAttacker
@@ -18,4 +20,33 @@ __all__ = [
     "AttackOutcome",
     "PrecomputationAttacker",
     "ReplayAttacker",
+    "make_attacker",
 ]
+
+
+def make_attacker(spec: Mapping[str, Any]) -> AttackerModel:
+    """Build a volumetric attacker from a JSON-style spec mapping.
+
+    The shared factory behind scenario documents and campaign specs:
+    ``{"kind": "flood" | "botnet" | "adaptive", ...params}``.  Unknown
+    kinds raise :class:`~repro.core.errors.ConfigError` listing the
+    catalogue, so a typo in a scenario file fails loudly.
+    """
+    from repro.core.errors import ConfigError
+
+    kind = spec.get("kind", "botnet")
+    if kind == "flood":
+        return FloodAttacker()
+    if kind == "botnet":
+        return BotnetAttacker(
+            max_difficulty=int(spec.get("max_difficulty", 18))
+        )
+    if kind == "adaptive":
+        return AdaptiveAttacker(
+            value_per_request=float(spec.get("value_per_request", 0.25)),
+            hash_rate=float(spec.get("hash_rate", 37_000.0)),
+        )
+    raise ConfigError(
+        f"unknown attacker kind {kind!r} "
+        "(catalogue: flood, botnet, adaptive)"
+    )

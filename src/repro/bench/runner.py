@@ -76,11 +76,18 @@ def _shard_throughput_result() -> ExperimentResult:
     return run_shard_throughput()
 
 
+def _replay_throughput_result() -> ExperimentResult:
+    from repro.bench.replay import run_replay_throughput
+
+    return run_replay_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
 EXPERIMENTS["thr-live"] = _live_throughput_result
 EXPERIMENTS["thr-shard"] = _shard_throughput_result
+EXPERIMENTS["thr-replay"] = _replay_throughput_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

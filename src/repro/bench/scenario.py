@@ -30,9 +30,7 @@ import dataclasses
 import json
 from typing import Any, Mapping
 
-from repro.attacks.adaptive import AdaptiveAttacker
-from repro.attacks.botnet import BotnetAttacker
-from repro.attacks.flood import FloodAttacker
+from repro.attacks import make_attacker
 from repro.bench.results import ExperimentResult
 from repro.core.errors import ConfigError
 from repro.core.framework import AIPoWFramework
@@ -107,22 +105,6 @@ def _build_profile(spec: Mapping[str, Any]) -> ClientProfile:
     raise ConfigError(f"population needs a 'profile' name or object: {spec!r}")
 
 
-def _build_attacker(spec: Mapping[str, Any]):
-    kind = spec.get("kind", "botnet")
-    if kind == "flood":
-        return FloodAttacker()
-    if kind == "botnet":
-        return BotnetAttacker(
-            max_difficulty=int(spec.get("max_difficulty", 18))
-        )
-    if kind == "adaptive":
-        return AdaptiveAttacker(
-            value_per_request=float(spec.get("value_per_request", 0.25)),
-            hash_rate=float(spec.get("hash_rate", 37_000.0)),
-        )
-    raise ConfigError(f"unknown attacker kind {kind!r}")
-
-
 def load_scenario(data: Mapping[str, Any]) -> Scenario:
     """Validate and assemble a scenario from a JSON-style mapping."""
     if not isinstance(data, Mapping):
@@ -158,7 +140,7 @@ def load_scenario(data: Mapping[str, Any]) -> Scenario:
 
     solve_deciders = {}
     for profile_name, attacker_spec in (data.get("attackers") or {}).items():
-        attacker = _build_attacker(attacker_spec)
+        attacker = make_attacker(attacker_spec)
         solve_deciders[profile_name] = attacker.should_solve
 
     return Scenario(

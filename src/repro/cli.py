@@ -15,6 +15,12 @@ interactive modes:
 * ``state``     — admission-state snapshot tooling: merge a serve
   ``--state-dir`` into one snapshot file, re-split a snapshot for a
   different worker count, or inspect either;
+* ``record``    — capture a campaign workload's admission decisions as
+  a replayable v2 trace (simulator, live gateway, or live cluster);
+* ``replay``    — feed a recorded trace back through any serving
+  configuration and diff the decision streams;
+* ``campaign``  — run a named adversarial scenario spec (optionally
+  recording its golden trace);
 * ``all``       — every experiment, in DESIGN.md order.
 """
 
@@ -107,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore admission state from DIR's shard snapshots at boot "
              "and rewrite them at graceful shutdown (gateway modes only)",
     )
+    serve.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="capture every admission decision into a replayable v2 "
+             "trace, written to FILE at graceful shutdown",
+    )
 
     state = sub.add_parser(
         "state", help="admission-state snapshot tooling"
@@ -143,6 +154,71 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", help="run a JSON scenario document through the simulator"
     )
     scenario.add_argument("file", help="path to the scenario JSON")
+
+    record = sub.add_parser(
+        "record",
+        help="capture a campaign workload's admission decisions as a "
+             "replayable trace",
+    )
+    record.add_argument("--out", required=True, metavar="FILE",
+                        help="trace file to write (v2 JSONL)")
+    record.add_argument(
+        "--scenario", default="benign-baseline", metavar="NAME",
+        help="campaign spec to drive (see `repro campaign --list`)",
+    )
+    record.add_argument(
+        "--target", default="sim",
+        help="serving path to record: sim (simulator, default), "
+             "gateway (live TCP), or cluster:N (live multi-worker)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="feed a recorded trace through a serving configuration "
+             "and compare decision streams",
+    )
+    replay.add_argument("--trace", required=True, metavar="FILE",
+                        help="v2 trace produced by record/campaign/serve")
+    replay.add_argument(
+        "--target", default="inproc",
+        help="replay path: inproc (default), gateway, or cluster:N",
+    )
+    replay.add_argument(
+        "--live", action="store_true",
+        help="replay over real TCP through a gateway instead of "
+             "in-process (decisions then diff by position)",
+    )
+    replay.add_argument(
+        "--speed", type=float, default=0.0, metavar="X",
+        help="pace requests at recorded gaps / X; 0 (default) replays "
+             "as fast as the pipeline admits",
+    )
+    replay.add_argument("--out", default=None, metavar="FILE",
+                        help="write the replayed decision trace here")
+    replay.add_argument(
+        "--diff", action="store_true",
+        help="diff replayed decisions against the trace's recorded ones "
+             "(exit 1 on divergence)",
+    )
+    replay.add_argument(
+        "--diff-report", default=None, metavar="FILE",
+        help="with --diff: also write the structured diff report (JSON)",
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run a named adversarial scenario spec"
+    )
+    campaign.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="campaign name (omit with --list to enumerate)",
+    )
+    campaign.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="also write the recorded golden trace here",
+    )
+    campaign.add_argument(
+        "--list", action="store_true", help="list available campaigns"
+    )
 
     export = sub.add_parser(
         "export", help="run every experiment and write JSON results"
@@ -300,6 +376,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--state-dir requires --gateway or --workers > 1")
         return 2
     spec = FrameworkSpec(policy=args.policy)
+    recorder = None
+    if args.record:
+        if spec.feedback:
+            # Feedback reacts to solve *outcomes*; a challenge-only
+            # replay cannot reproduce those, so scores will drift.
+            # Recording stays useful (the diff harness will show the
+            # drift), but bit-identical replay needs a feedback-free
+            # recipe — which campaigns use by construction.
+            print(
+                "note: behavioural feedback is enabled; challenge-only "
+                "replays of this trace will show score drift "
+                "(`repro record`/`repro campaign` traces replay "
+                "bit-identically)",
+                flush=True,
+            )
+        if args.workers == 1:
+            from repro.replay import TraceRecorder
+
+            recorder = TraceRecorder()
 
     if args.workers > 1:
         from repro.net.gateway.cluster import GatewayCluster
@@ -314,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             shed_policy=args.shed_policy,
             state_dir=args.state_dir,
+            record_path=args.record,
         )
         mode = (
             f"{args.workers} gateway workers sharded by client-IP hash "
@@ -349,6 +445,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             shed_policy=make_shed_policy(args.shed_policy),
             metrics=metrics,
+            recorder=recorder,
         )
         mode = (
             f"gateway (batch<={args.max_batch}, "
@@ -359,7 +456,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.net.live.server import LiveServer
 
         metrics = None
-        server = LiveServer(spec.build(), host=args.host, port=args.port)
+        framework = spec.build()
+        if recorder is not None:
+            recorder.attach(framework.events)
+        server = LiveServer(framework, host=args.host, port=args.port)
         mode = "thread-per-connection"
 
     shutdown = _install_shutdown_signals()
@@ -389,6 +489,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(mean size {summary.get('mean_batch_size', 0.0):.1f}), "
             f"shed {summary.get('shed', 0)}"
         )
+        if args.record and server.recorded_trace is not None:
+            print(
+                f"recorded {len(server.recorded_trace)} decisions "
+                f"-> {args.record}"
+            )
         if any(code not in (0, None) for code in server.exit_codes):
             print(f"worker exit codes: {server.exit_codes}")
             return 1
@@ -404,6 +509,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.state_dir, 0, 1, server.framework.snapshot()
             )
             print(f"state written to {args.state_dir}")
+    if recorder is not None:
+        import dataclasses
+
+        from repro.replay import spec_hash
+
+        recorder.dump(
+            args.record,
+            config_hash=spec_hash(spec),
+            meta={
+                "recorder": "serve",
+                "spec": dataclasses.asdict(spec),
+            },
+        )
+        print(f"recorded {len(recorder)} decisions -> {args.record}")
     return 0
 
 
@@ -515,6 +634,170 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.replay import (
+        CAMPAIGNS,
+        feed_live,
+        parse_target,
+        run_campaign,
+        spec_hash,
+    )
+
+    if args.scenario not in CAMPAIGNS:
+        print(f"unknown campaign {args.scenario!r}; "
+              f"available: {', '.join(sorted(CAMPAIGNS))}")
+        return 2
+    campaign = CAMPAIGNS[args.scenario]
+
+    if args.target == "sim":
+        run = run_campaign(campaign, record_path=args.out)
+        print(run.result.render())
+        print(f"\nrecorded {len(run.trace)} decisions -> {args.out}")
+        return 0
+
+    try:
+        kind, workers = parse_target(args.target)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if kind == "inproc":
+        print("record targets: sim, gateway, cluster:N "
+              "(inproc is a replay target)")
+        return 2
+
+    # Live capture: generate the campaign's open-loop workload, then
+    # drive it sequentially through a real server with recording on.
+    from repro.replay.campaign import _PROFILES
+    from repro.traffic.generator import WorkloadGenerator
+
+    generator = WorkloadGenerator(seed=campaign.seed)
+    workload, _clients = generator.mixed_trace(
+        [(_PROFILES[name], count) for name, count in campaign.populations],
+        duration=campaign.duration,
+    )
+    entries = list(workload)
+    if kind == "gateway":
+        from repro.net.gateway.server import GatewayServer
+        from repro.replay import TraceRecorder
+
+        framework = campaign.spec.build()
+        recorder = TraceRecorder()
+        with GatewayServer(framework, recorder=recorder) as server:
+            feed_live(server.address, entries)
+        recorder.dump(
+            args.out,
+            config_hash=spec_hash(campaign.spec),
+            seed=campaign.seed,
+            meta={
+                "campaign": campaign.name,
+                "recorder": "gateway-live",
+                "spec": dataclasses.asdict(campaign.spec),
+            },
+        )
+        recorded = len(recorder)
+    else:
+        from repro.net.gateway.cluster import GatewayCluster
+
+        cluster = GatewayCluster(
+            campaign.spec, workers=workers, record_path=args.out
+        )
+        with cluster:
+            feed_live(cluster.address, entries)
+        recorded = (
+            len(cluster.recorded_trace)
+            if cluster.recorded_trace is not None
+            else 0
+        )
+    print(f"fed {len(entries)} live requests through {args.target}; "
+          f"recorded {recorded} decisions -> {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.errors import TraceFormatError
+    from repro.replay import (
+        TraceReplayer,
+        diff_decisions,
+        replay_live_gateway,
+    )
+    from repro.traffic.trace import Trace
+
+    try:
+        trace = Trace.load_jsonl(args.trace)
+    except TraceFormatError as exc:
+        print(f"{args.trace}: {exc}")
+        return 2
+    if args.live:
+        if args.target not in ("inproc", "gateway"):
+            print("--live replays through a gateway; cluster targets "
+                  "are in-process only")
+            return 2
+        if args.speed:
+            print("--speed only paces in-process replays; live replay "
+                  "feeds sequentially at full speed")
+            return 2
+        result = replay_live_gateway(trace)
+    else:
+        try:
+            result = TraceReplayer(
+                trace, target=args.target, speed=args.speed
+            ).run()
+        except ValueError as exc:
+            print(exc)
+            return 2
+    print(
+        f"replayed {result.requests} requests through {result.target}: "
+        f"{len(result.decisions)} decisions in {result.elapsed:.3f}s "
+        f"({result.throughput:,.0f}/s)"
+    )
+    if args.out:
+        result.trace.dump_jsonl(args.out)
+        print(f"decision trace written to {args.out}")
+    if not args.diff:
+        return 0
+
+    recorded = trace.decisions()
+    if not recorded:
+        print("trace carries no recorded decisions to diff against")
+        return 2
+    # Live replays match by position (the server assigned fresh request
+    # ids) and ignore client_ip (recorded clients are remapped onto
+    # loopback source addresses; see repro.replay.loopback_plan).
+    report = diff_decisions(
+        recorded,
+        result.decisions,
+        match_by="position" if args.live else "request_id",
+        ignore={"client_ip"} if args.live else (),
+    )
+    print()
+    print(report.render())
+    if args.diff_report:
+        with open(args.diff_report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"diff report written to {args.diff_report}")
+    return 0 if report.identical else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.replay import CAMPAIGNS, run_campaign
+
+    if args.list or args.scenario is None:
+        for name in sorted(CAMPAIGNS):
+            print(f"{name}: {CAMPAIGNS[name].description}")
+        return 0 if args.list else 2
+    if args.scenario not in CAMPAIGNS:
+        print(f"unknown campaign {args.scenario!r}; "
+              f"available: {', '.join(sorted(CAMPAIGNS))}")
+        return 2
+    run = run_campaign(args.scenario, record_path=args.record)
+    print(run.result.render())
+    if args.record:
+        print(f"\ngolden trace written to {args.record}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.bench.scenario import run_scenario_json
 
@@ -558,6 +841,9 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "state": _cmd_state,
     "analyze": _cmd_analyze,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
+    "campaign": _cmd_campaign,
     "scenario": _cmd_scenario,
     "export": _cmd_export,
     "all": _cmd_all,

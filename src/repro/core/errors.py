@@ -31,6 +31,7 @@ __all__ = [
     "NonceSpaceExhaustedError",
     "SimulationError",
     "ProtocolError",
+    "TraceFormatError",
 ]
 
 
@@ -141,3 +142,18 @@ class SimulationError(ReproError):
 
 class ProtocolError(ReproError):
     """A live-server protocol frame was malformed or out of sequence."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file is corrupt, duplicated, or of an unknown version.
+
+    Raised by the v2 trace loader with the offending line number, so a
+    truncated or hand-edited golden trace fails loudly instead of
+    silently replaying a subset of the workload.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

@@ -15,6 +15,7 @@ from typing import Mapping
 
 __all__ = [
     "ClientRequest",
+    "DecisionRecord",
     "IssuerDecision",
     "ResponseStatus",
     "ServedResponse",
@@ -74,6 +75,81 @@ class IssuerDecision:
     def __post_init__(self) -> None:
         if self.difficulty < 0:
             raise ValueError(f"difficulty must be >= 0, got {self.difficulty}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """One admission decision, flattened for traces and diffing.
+
+    The record/replay subsystem persists these alongside the requests
+    that produced them (trace schema v2) and compares two decision
+    streams field-by-field.  ``verdict`` is ``"admit"`` (a puzzle was
+    issued), ``"shed"`` (the gateway dropped the request under load) or
+    ``"error"`` (admission raised); ``detail`` carries the shed reason
+    or error message.
+
+    ``puzzle_seed`` is informational only: the production seed source is
+    a CSPRNG, so seeds (and therefore HMAC tags) legitimately differ
+    between a recording and its replay.  :meth:`canonical` returns the
+    deterministic field subset — everything a correct replay must
+    reproduce bit-identically.
+    """
+
+    request_id: str
+    client_ip: str
+    verdict: str
+    score: float = 0.0
+    difficulty: int = -1
+    policy_name: str = ""
+    model_name: str = ""
+    puzzle_algorithm: str = ""
+    puzzle_seed: str = ""
+    detail: str = ""
+
+    _VERDICTS = ("admit", "shed", "error")
+
+    def __post_init__(self) -> None:
+        if self.verdict not in self._VERDICTS:
+            raise ValueError(
+                f"verdict must be one of {self._VERDICTS}, "
+                f"got {self.verdict!r}"
+            )
+
+    def canonical(self) -> dict:
+        """The deterministic fields a faithful replay must reproduce."""
+        return {
+            "request_id": self.request_id,
+            "client_ip": self.client_ip,
+            "verdict": self.verdict,
+            "score": self.score,
+            "difficulty": self.difficulty,
+            "policy_name": self.policy_name,
+            "model_name": self.model_name,
+            "puzzle_algorithm": self.puzzle_algorithm,
+            "detail": self.detail,
+        }
+
+    def to_mapping(self) -> dict:
+        """JSON-safe mapping (includes the non-deterministic seed)."""
+        data = self.canonical()
+        data["puzzle_seed"] = self.puzzle_seed
+        return data
+
+    @classmethod
+    def from_mapping(cls, data: Mapping) -> "DecisionRecord":
+        """Rebuild from :meth:`to_mapping` output."""
+        return cls(
+            request_id=str(data["request_id"]),
+            client_ip=str(data["client_ip"]),
+            verdict=str(data["verdict"]),
+            score=float(data.get("score", 0.0)),
+            difficulty=int(data.get("difficulty", -1)),
+            policy_name=str(data.get("policy_name", "")),
+            model_name=str(data.get("model_name", "")),
+            puzzle_algorithm=str(data.get("puzzle_algorithm", "")),
+            puzzle_seed=str(data.get("puzzle_seed", "")),
+            detail=str(data.get("detail", "")),
+        )
 
 
 class ResponseStatus(enum.Enum):

@@ -58,7 +58,17 @@ from repro.state import (
     write_shard_file,
 )
 
-__all__ = ["GatewayCluster", "ShardWorker", "make_shed_policy"]
+__all__ = [
+    "GatewayCluster",
+    "ShardWorker",
+    "make_shed_policy",
+    "shard_trace_path",
+]
+
+
+def shard_trace_path(record_path, shard: int, shards: int) -> str:
+    """Partial-trace path one worker records into before the merge."""
+    return f"{os.fspath(record_path)}.shard-{shard}-of-{shards}"
 
 #: Control-channel message tags (SOCK_SEQPACKET, one message per send).
 _READY = b"READY"
@@ -110,6 +120,12 @@ class ShardWorker:
             snapshot = read_shard_file(state_dir, self.shard, self.shards)
             if snapshot is not None:
                 framework.restore(snapshot)
+        recorder = None
+        record_path = self.options.get("record_path")
+        if record_path:
+            from repro.replay.recorder import TraceRecorder
+
+            recorder = TraceRecorder(id_prefix=f"w{self.shard}")
         self.gateway = GatewayServer(
             framework,
             max_batch=self.options.get("max_batch", 64),
@@ -120,6 +136,7 @@ class ShardWorker:
             ),
             io_timeout=self.options.get("io_timeout", 30.0),
             metrics=self.metrics,
+            recorder=recorder,
         )
         try:
             self.ctrl.sendall(_READY)
@@ -129,6 +146,20 @@ class ShardWorker:
         if state_dir:
             write_shard_file(
                 state_dir, self.shard, self.shards, framework.snapshot()
+            )
+        if recorder is not None:
+            import dataclasses
+
+            from repro.replay.recorder import spec_hash
+
+            recorder.dump(
+                shard_trace_path(record_path, self.shard, self.shards),
+                config_hash=spec_hash(self.spec),
+                meta={
+                    "shard": self.shard,
+                    "shards": self.shards,
+                    "spec": dataclasses.asdict(self.spec),
+                },
             )
         self._ship_metrics()
         return 0
@@ -237,6 +268,12 @@ class GatewayCluster:
         Directory of per-shard state snapshots: each worker restores
         its ``shard-I-of-N.json`` at boot (when present) and rewrites
         it at graceful shutdown.
+    record_path:
+        When set, every worker records its admission decisions
+        (:class:`~repro.replay.TraceRecorder`) and writes a partial
+        trace at graceful shutdown; the parent merges the partials
+        into one timestamp-ordered v2 trace at ``record_path``
+        (exposed as :attr:`recorded_trace`).
     drain_grace:
         Seconds each worker gives in-flight exchanges at shutdown.
     replicas:
@@ -263,6 +300,7 @@ class GatewayCluster:
         shed_policy: str = "drop-newest",
         io_timeout: float = 30.0,
         state_dir=None,
+        record_path=None,
         drain_grace: float = 5.0,
         replicas: int = 64,
         start_method: str = "spawn",
@@ -286,8 +324,14 @@ class GatewayCluster:
             "shed_policy": shed_policy,
             "io_timeout": io_timeout,
             "state_dir": os.fspath(state_dir) if state_dir else None,
+            "record_path": os.fspath(record_path) if record_path else None,
             "drain_grace": drain_grace,
         }
+        self.record_path = (
+            os.fspath(record_path) if record_path else None
+        )
+        #: Merged decision trace after a graceful stop with recording on.
+        self.recorded_trace = None
         self._listener: socket.socket | None = None
         self._address: tuple[str, int] | None = None
         self._ctrls: list[socket.socket] = []
@@ -420,6 +464,40 @@ class GatewayCluster:
         if graceful:
             self.worker_summaries = summaries
             self.metrics_summary = aggregate_gateway_summaries(summaries)
+            if self.record_path is not None:
+                self.recorded_trace = self._merge_recordings()
+
+    def _merge_recordings(self):
+        """Merge per-shard partial traces into one file at record_path."""
+        from repro.traffic.trace import Trace, TraceHeader
+
+        entries = []
+        config_hash = ""
+        spec_mapping = None
+        for shard in range(self.workers):
+            partial_path = shard_trace_path(
+                self.record_path, shard, self.workers
+            )
+            try:
+                partial = Trace.load_jsonl(partial_path)
+            except OSError:  # pragma: no cover - worker died pre-dump
+                continue
+            entries.extend(partial.entries)
+            if partial.header is not None:
+                config_hash = partial.header.config_hash or config_hash
+                spec_mapping = (
+                    partial.header.meta.get("spec") or spec_mapping
+                )
+            os.unlink(partial_path)
+        meta = {"recorder": "cluster", "workers": self.workers}
+        if spec_mapping is not None:
+            meta["spec"] = spec_mapping
+        merged = Trace(
+            entries,
+            header=TraceHeader(config_hash=config_hash, meta=meta),
+        )
+        merged.dump_jsonl(self.record_path)
+        return merged
 
     def _read_summary(self, ctrl: socket.socket) -> dict | None:
         ctrl.settimeout(30.0)

@@ -77,6 +77,12 @@ class GatewayServer:
     metrics:
         Optional :class:`~repro.metrics.collector.GatewayMetrics`
         receiving queue depths, batch sizes and shed counts.
+    recorder:
+        Optional :class:`~repro.replay.TraceRecorder`, attached to the
+        framework's event bus so every admission decision (admitted or
+        shed) is captured as a replayable v2 trace entry.  Costs
+        nothing when omitted — with no subscribers the framework skips
+        event construction entirely.
     """
 
     def __init__(
@@ -92,10 +98,14 @@ class GatewayServer:
         admission=None,
         io_timeout: float = 30.0,
         metrics: GatewayMetrics | None = None,
+        recorder=None,
     ) -> None:
         if io_timeout <= 0:
             raise ValueError(f"io_timeout must be > 0, got {io_timeout}")
         self.framework = framework
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach(framework.events)
         self.host = host
         self.port = port
         self.io_timeout = io_timeout

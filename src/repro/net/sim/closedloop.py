@@ -98,8 +98,12 @@ class ClosedLoopSimulation:
         server_model: ServerModel | None = None,
         seed: int = 4321,
         hash_rates: Mapping[str, float] | None = None,
+        recorder=None,
     ) -> None:
         self.framework = framework
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach(framework.events)
         timing = framework.config.timing
         self.channel = channel or FixedDelayChannel(timing.network_overhead / 4)
         self.server_model = server_model or ServerModel()
@@ -134,6 +138,12 @@ class ClosedLoopSimulation:
     def add_session(self, session: SessionSpec) -> None:
         """Register a session; its first request fires at ``session.start``."""
         self._profiles[session.client.ip] = session.client.profile.name
+        if self.recorder is not None:
+            self.recorder.register_source(
+                session.client.ip,
+                session.client.profile.name,
+                session.client.true_score,
+            )
         self.engine.schedule_at(
             session.start,
             lambda: self._begin_exchange(session, remaining=session.exchanges),

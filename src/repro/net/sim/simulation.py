@@ -135,6 +135,11 @@ class Simulation:
     load_reference:
         Server backlog (seconds of queued work) that counts as load
         1.0 when feeding a :class:`LoadAdaptivePolicy`.
+    recorder:
+        Optional :class:`~repro.replay.TraceRecorder`, attached to the
+        framework's event bus; submitted trace entries register their
+        profile and ground-truth score with it, so the recorded v2
+        trace carries the same metadata as the input workload.
     """
 
     def __init__(
@@ -149,6 +154,7 @@ class Simulation:
         patiences: Mapping[str, float] | None = None,
         timeline: TimelineCollector | None = None,
         load_reference: float = 0.1,
+        recorder=None,
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
@@ -167,6 +173,9 @@ class Simulation:
         self.patiences = dict(patiences or {})
         self.timeline = timeline
         self.load_reference = load_reference
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach(framework.events)
 
         self._server_busy_until = 0.0
         self._cpu_free_at: dict[str, float] = {}
@@ -237,6 +246,10 @@ class Simulation:
     def submit(self, entry: TraceEntry) -> None:
         """Schedule one trace entry's arrival at its request timestamp."""
         self._profiles[entry.request.client_ip] = entry.profile
+        if self.recorder is not None:
+            self.recorder.register_source(
+                entry.request.client_ip, entry.profile, entry.true_score
+            )
         self._requests += 1
         self.engine.schedule_at(
             entry.request.timestamp + self._delay(),

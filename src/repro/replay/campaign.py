@@ -1,0 +1,388 @@
+"""Campaign runner: named adversarial workloads that record golden traces.
+
+A campaign composes the repo's building blocks into one reproducible
+scenario: a framework recipe (:class:`~repro.core.spec.FrameworkSpec`),
+client populations drawn from the built-in traffic profiles, volumetric
+attackers (flood / botnet / adaptive) as per-profile solve deciders,
+and optionally a *protocol probe* — a replay or pre-computation attack
+driven through the same framework after the traffic run, so the trace
+also witnesses the protocol defenses.
+
+``run_campaign`` replays the campaign's workload through the
+deterministic simulator with a :class:`~repro.replay.TraceRecorder`
+attached, so the output is a v2 trace carrying every admission decision
+— the golden traces under ``tests/golden/`` are exactly these, recorded
+once and replayed forever by the differential harness.
+
+Campaign recipes are replay-safe by construction: behavioural feedback
+is disabled (it reacts to solve *outcomes*, which a challenge-only
+replay does not reproduce) and policies are deterministic, so the
+decision stream is a pure function of the recorded request stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.attacks import make_attacker
+from repro.attacks.protocol_attacks import AttackOutcome
+from repro.bench.results import ExperimentResult
+from repro.core.errors import ComponentNotFoundError
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ClientRequest
+from repro.core.spec import FrameworkSpec
+from repro.net.sim.simulation import Simulation
+from repro.pow.solver import HashSolver
+from repro.replay.recorder import TraceRecorder, spec_hash
+from repro.traffic.generator import WorkloadGenerator
+from repro.traffic.profiles import (
+    BENIGN_PROFILE,
+    MALICIOUS_PROFILE,
+    STEALTH_PROFILE,
+    ClientProfile,
+)
+from repro.traffic.trace import Trace
+
+__all__ = ["CampaignSpec", "CampaignRun", "CAMPAIGNS", "run_campaign"]
+
+_PROFILES: dict[str, ClientProfile] = {
+    "benign": BENIGN_PROFILE,
+    "malicious": MALICIOUS_PROFILE,
+    "stealth": STEALTH_PROFILE,
+}
+
+#: Deterministic feature vector for protocol probes (canonical schema
+#: keys, values inside the corpus range) — probes need scoreable
+#: requests but no ground-truth population behind them.
+_PROBE_IP = "110.99.99.99"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """One named, fully deterministic adversarial workload.
+
+    Parameters
+    ----------
+    name / description:
+        Registry key and one-line summary.
+    spec:
+        Framework recipe every run (and every replay) builds from.
+        Must be replay-safe: deterministic policy, feedback off.
+    duration / seed:
+        Open-loop workload length (seconds) and master seed.
+    populations:
+        ``(profile_name, client_count)`` pairs over the built-in
+        profiles.
+    attackers:
+        ``profile_name -> attacker spec`` mapping
+        (see :func:`repro.attacks.make_attacker`).
+    protocol_probe:
+        ``"replay"``, ``"precompute"``, or ``None`` — an additional
+        protocol-level attack driven through the framework after the
+        traffic run.
+    """
+
+    name: str
+    description: str
+    spec: FrameworkSpec = dataclasses.field(
+        default_factory=lambda: FrameworkSpec(feedback=False)
+    )
+    duration: float = 4.0
+    seed: int = 1234
+    populations: tuple[tuple[str, int], ...] = (("benign", 10),)
+    attackers: Mapping[str, Mapping] = dataclasses.field(
+        default_factory=dict
+    )
+    protocol_probe: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if not self.populations:
+            raise ValueError("campaign needs at least one population")
+        for profile_name, count in self.populations:
+            if profile_name not in _PROFILES:
+                raise ValueError(
+                    f"unknown profile {profile_name!r}; "
+                    f"builtins: {sorted(_PROFILES)}"
+                )
+            if count < 1:
+                raise ValueError(
+                    f"population count must be >= 1, got {count}"
+                )
+        population_names = {name for name, _ in self.populations}
+        for attacker_profile in self.attackers:
+            if attacker_profile not in population_names:
+                raise ValueError(
+                    f"attacker profile {attacker_profile!r} matches no "
+                    f"population (have: {sorted(population_names)}) — "
+                    "a typo here would silently record an attack-free "
+                    "trace"
+                )
+        if self.protocol_probe not in (None, "replay", "precompute"):
+            raise ValueError(
+                f"unknown protocol probe {self.protocol_probe!r}"
+            )
+
+
+@dataclasses.dataclass
+class CampaignRun:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    trace: Trace
+    result: ExperimentResult
+    probe_outcome: AttackOutcome | None = None
+
+
+CAMPAIGNS: dict[str, CampaignSpec] = {
+    campaign.name: campaign
+    for campaign in (
+        CampaignSpec(
+            name="benign-baseline",
+            description="ordinary users only — the no-attack control",
+            duration=4.0,
+            seed=101,
+            populations=(("benign", 12),),
+        ),
+        CampaignSpec(
+            name="flood-burst",
+            description="volumetric flood that never solves puzzles",
+            duration=2.5,
+            seed=202,
+            populations=(("benign", 8), ("malicious", 3)),
+            attackers={"malicious": {"kind": "flood"}},
+        ),
+        CampaignSpec(
+            name="botnet-siege",
+            description="solving botnet with a per-bot difficulty budget",
+            spec=FrameworkSpec(policy="policy-1", feedback=False),
+            duration=2.5,
+            seed=303,
+            populations=(("benign", 8), ("malicious", 3)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 16}},
+        ),
+        CampaignSpec(
+            name="stealth-adaptive",
+            description="cost-aware stealth bots that walk away when "
+            "puzzles stop paying",
+            duration=3.0,
+            seed=404,
+            populations=(("benign", 8), ("stealth", 4)),
+            attackers={
+                "stealth": {"kind": "adaptive", "value_per_request": 0.2}
+            },
+        ),
+        CampaignSpec(
+            name="replay-probe",
+            description="botnet traffic plus a protocol replay attack "
+            "against the verifier's replay cache",
+            duration=2.0,
+            seed=505,
+            populations=(("benign", 6), ("malicious", 2)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 14}},
+            protocol_probe="replay",
+        ),
+        CampaignSpec(
+            name="precompute-probe",
+            description="benign traffic plus a seed-prediction "
+            "pre-computation attack",
+            duration=2.0,
+            seed=606,
+            populations=(("benign", 6),),
+            protocol_probe="precompute",
+        ),
+    )
+}
+
+
+def run_campaign(
+    campaign: CampaignSpec | str,
+    *,
+    record_path=None,
+) -> CampaignRun:
+    """Run ``campaign`` through the simulator, recording every decision.
+
+    Returns the run (including the recorded v2 trace); when
+    ``record_path`` is given the trace is also written there.
+    """
+    if isinstance(campaign, str):
+        try:
+            campaign = CAMPAIGNS[campaign]
+        except KeyError:
+            raise ComponentNotFoundError(
+                "campaign", campaign, tuple(sorted(CAMPAIGNS))
+            ) from None
+
+    generator = WorkloadGenerator(seed=campaign.seed)
+    populations = [
+        (_PROFILES[name], count) for name, count in campaign.populations
+    ]
+    workload, clients = generator.mixed_trace(
+        populations, duration=campaign.duration
+    )
+    framework = campaign.spec.build()
+    recorder = TraceRecorder(
+        sources={
+            client.ip: (client.profile.name, client.true_score)
+            for client in clients
+        }
+    ).attach(framework.events)
+
+    solve_deciders = {}
+    for profile_name, attacker_spec in campaign.attackers.items():
+        solve_deciders[profile_name] = make_attacker(
+            attacker_spec
+        ).should_solve
+    patiences = {
+        profile.name: profile.patience for profile, _ in populations
+    }
+    simulation = Simulation(
+        framework,
+        seed=campaign.seed ^ 0x5CE4,
+        solve_deciders=solve_deciders,
+        patiences=patiences,
+    )
+    report = simulation.run(workload)
+
+    probe_outcome = None
+    if campaign.protocol_probe is not None:
+        recorder.register_source(_PROBE_IP, "probe", 0.0)
+        probe_outcome = _run_probe(
+            campaign.protocol_probe,
+            framework,
+            features=dict(clients[0].features),
+            start=campaign.duration + 1.0,
+        )
+
+    trace = recorder.trace(
+        config_hash=spec_hash(campaign.spec),
+        seed=campaign.seed,
+        meta={
+            "campaign": campaign.name,
+            "spec": dataclasses.asdict(campaign.spec),
+        },
+    )
+    if record_path is not None:
+        trace.dump_jsonl(record_path)
+
+    rows = []
+    for cls in report.metrics.class_names():
+        metrics = report.metrics.for_class(cls)
+        rows.append(
+            [
+                cls,
+                metrics.total,
+                metrics.goodput_fraction,
+                metrics.difficulties.mean,
+            ]
+        )
+    notes = [
+        f"{report.requests} requests over {campaign.duration:g}s, "
+        f"{len(trace)} decisions recorded",
+        f"framework recipe hash {spec_hash(campaign.spec)}",
+    ]
+    if probe_outcome is not None:
+        held = "defense held" if not probe_outcome.succeeded else "BREACHED"
+        notes.append(
+            f"protocol probe {probe_outcome.attack}: {held} — "
+            f"{probe_outcome.detail}"
+        )
+    result = ExperimentResult(
+        experiment_id=f"campaign:{campaign.name}",
+        title=f"Campaign {campaign.name!r} - {campaign.description}",
+        headers=["class", "requests", "goodput", "mean_difficulty"],
+        rows=rows,
+        notes=notes,
+        extra={
+            "requests": report.requests,
+            "served": report.served,
+            "decisions": len(trace),
+            "probe_succeeded": (
+                None if probe_outcome is None else probe_outcome.succeeded
+            ),
+        },
+    )
+    return CampaignRun(
+        spec=campaign,
+        trace=trace,
+        result=result,
+        probe_outcome=probe_outcome,
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol probes
+# ----------------------------------------------------------------------
+def _probe_request(features: Mapping, at: float) -> ClientRequest:
+    return ClientRequest(
+        client_ip=_PROBE_IP,
+        resource="/probe",
+        timestamp=at,
+        features=features,
+        request_id="",  # the recorder assigns rec-N ids
+    )
+
+
+def _run_probe(
+    kind: str,
+    framework: AIPoWFramework,
+    *,
+    features: Mapping,
+    start: float,
+) -> AttackOutcome:
+    """Drive a protocol attack through the framework's own pipeline.
+
+    Unlike :mod:`repro.attacks.protocol_attacks` (which attack a bare
+    generator/verifier pair), the probes here go through
+    ``challenge``/``redeem`` so every probe admission lands in the
+    recorded trace too.
+    """
+    solver = HashSolver()
+    if kind == "replay":
+        challenge = framework.challenge(
+            _probe_request(features, start), now=start
+        )
+        solution = solver.solve(challenge.puzzle, _PROBE_IP)
+        first = framework.redeem(challenge, solution, now=start + 0.05)
+        second = framework.redeem(challenge, solution, now=start + 0.10)
+        if first.served and second.status.value == "replayed":
+            return AttackOutcome(
+                "replay",
+                False,
+                "second redemption rejected as replayed: cache held",
+            )
+        return AttackOutcome(
+            "replay",
+            second.served,
+            f"first={first.status.value} second={second.status.value}",
+        )
+
+    # Pre-computation: observe issued seeds, extrapolate the next one,
+    # then check the prediction against a real issuance.
+    from repro.attacks.protocol_attacks import PrecomputationAttacker
+
+    observed = []
+    for index in range(3):
+        challenge = framework.challenge(
+            _probe_request(features, start + 0.1 * index),
+            now=start + 0.1 * index,
+        )
+        observed.append(challenge.puzzle.seed)
+    predicted = PrecomputationAttacker.predict_next_seed(observed)
+    real = framework.challenge(
+        _probe_request(features, start + 0.3), now=start + 0.3
+    )
+    if predicted == real.puzzle.seed:
+        return AttackOutcome(
+            "precomputation",
+            True,
+            "seed prediction succeeded: seeds are predictable",
+        )
+    return AttackOutcome(
+        "precomputation",
+        False,
+        "seed prediction failed: unique unpredictable seeds defeat "
+        "pre-computation",
+    )

@@ -1,0 +1,206 @@
+"""Differential harness: compare two admission decision streams.
+
+The regression instrument behind the golden traces: a recorded decision
+stream and a replayed one (or the streams of two different serving
+configurations) are compared field-by-field over the deterministic
+decision fields (:meth:`DecisionRecord.canonical`), producing a
+structured :class:`DiffReport` — identical/diverged verdict, per-field
+mismatches with request ids, and ids present on only one side.
+
+Streams are matched by ``request_id`` by default (replays preserve the
+recorded ids).  Live replays, where the serving transport assigns fresh
+ids, match by position instead and ignore the id field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable, Sequence
+
+from repro.core.records import DecisionRecord
+
+__all__ = ["FieldDiff", "DiffReport", "diff_decisions"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FieldDiff:
+    """One field-level divergence between matched decisions."""
+
+    request_id: str
+    field: str
+    left: object
+    right: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.request_id or '<no id>'}: {self.field} "
+            f"{self.left!r} -> {self.right!r}"
+        )
+
+
+@dataclasses.dataclass
+class DiffReport:
+    """Structured outcome of one decision-stream comparison."""
+
+    left_total: int
+    right_total: int
+    matched: int
+    field_diffs: list[FieldDiff] = dataclasses.field(default_factory=list)
+    #: Request ids (or positions, as ``#N``) present only on the left.
+    left_only: list[str] = dataclasses.field(default_factory=list)
+    #: Request ids (or positions, as ``#N``) present only on the right.
+    right_only: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        """True when both streams agree on every compared field."""
+        return (
+            not self.field_diffs
+            and not self.left_only
+            and not self.right_only
+        )
+
+    @property
+    def diverged_requests(self) -> int:
+        """Number of matched decisions with at least one field diff."""
+        return len({diff.request_id for diff in self.field_diffs})
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable report (truncated to ``limit`` field diffs)."""
+        lines = [
+            f"decision streams: left={self.left_total} "
+            f"right={self.right_total} matched={self.matched}",
+        ]
+        if self.identical:
+            lines.append("IDENTICAL: every compared field matches")
+            return "\n".join(lines)
+        lines.append(
+            f"DIVERGED: {self.diverged_requests} decision(s) differ, "
+            f"{len(self.left_only)} only-left, "
+            f"{len(self.right_only)} only-right"
+        )
+        for diff in self.field_diffs[:limit]:
+            lines.append(f"  {diff.describe()}")
+        hidden = len(self.field_diffs) - limit
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more field diff(s)")
+        if self.left_only:
+            lines.append(f"  only-left ids: {self.left_only[:10]}")
+        if self.right_only:
+            lines.append(f"  only-right ids: {self.right_only[:10]}")
+        return "\n".join(lines)
+
+    def to_mapping(self) -> dict:
+        """JSON-safe mapping (the CI artifact format)."""
+        return {
+            "identical": self.identical,
+            "left_total": self.left_total,
+            "right_total": self.right_total,
+            "matched": self.matched,
+            "field_diffs": [
+                {
+                    "request_id": diff.request_id,
+                    "field": diff.field,
+                    "left": diff.left,
+                    "right": diff.right,
+                }
+                for diff in self.field_diffs
+            ],
+            "left_only": list(self.left_only),
+            "right_only": list(self.right_only),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_mapping(), indent=2, sort_keys=True)
+
+
+def diff_decisions(
+    left: Iterable[DecisionRecord],
+    right: Iterable[DecisionRecord],
+    *,
+    match_by: str = "request_id",
+    ignore: Iterable[str] = (),
+) -> DiffReport:
+    """Compare two decision streams field-by-field.
+
+    Parameters
+    ----------
+    left / right:
+        Decision streams (e.g. ``trace.decisions()`` vs a replay's).
+    match_by:
+        ``"request_id"`` pairs decisions by id (order-independent;
+        duplicates on either side are a :class:`ValueError` — recorded
+        traces guarantee uniqueness).  ``"position"`` pairs the n-th
+        decision of each stream — for live replays whose transport
+        assigned fresh ids (``request_id`` is then ignored).
+    ignore:
+        Additional canonical field names to exclude from comparison
+        (e.g. ``{"score"}`` when diffing across different models on
+        purpose).
+    """
+    left = list(left)
+    right = list(right)
+    skip = set(ignore)
+    if match_by == "position":
+        skip.add("request_id")
+        pairs = list(zip(left, right))
+        left_only = [f"#{i}" for i in range(len(right), len(left))]
+        right_only = [f"#{i}" for i in range(len(left), len(right))]
+    elif match_by == "request_id":
+        left_ids = _index_by_id(left, "left")
+        right_ids = _index_by_id(right, "right")
+        pairs = [
+            (record, right_ids[request_id])
+            for request_id, record in left_ids.items()
+            if request_id in right_ids
+        ]
+        left_only = [rid for rid in left_ids if rid not in right_ids]
+        right_only = [rid for rid in right_ids if rid not in left_ids]
+    else:
+        raise ValueError(
+            f"match_by must be 'request_id' or 'position', got {match_by!r}"
+        )
+
+    field_diffs: list[FieldDiff] = []
+    for index, (a, b) in enumerate(pairs):
+        canon_a, canon_b = a.canonical(), b.canonical()
+        for field, value_a in canon_a.items():
+            if field in skip:
+                continue
+            value_b = canon_b[field]
+            if value_a != value_b:
+                field_diffs.append(
+                    FieldDiff(
+                        request_id=a.request_id or f"#{index}",
+                        field=field,
+                        left=value_a,
+                        right=value_b,
+                    )
+                )
+    return DiffReport(
+        left_total=len(left),
+        right_total=len(right),
+        matched=len(pairs),
+        field_diffs=field_diffs,
+        left_only=left_only,
+        right_only=right_only,
+    )
+
+
+def _index_by_id(
+    records: Sequence[DecisionRecord], side: str
+) -> dict[str, DecisionRecord]:
+    indexed: dict[str, DecisionRecord] = {}
+    for record in records:
+        if not record.request_id:
+            raise ValueError(
+                f"{side} stream has a decision without a request_id; "
+                "use match_by='position'"
+            )
+        if record.request_id in indexed:
+            raise ValueError(
+                f"{side} stream repeats request_id {record.request_id!r}"
+            )
+        indexed[record.request_id] = record
+    return indexed

@@ -1,0 +1,126 @@
+"""Campaign runner: named adversarial workloads and their golden traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ComponentNotFoundError
+from repro.core.spec import FrameworkSpec
+from repro.replay import (
+    CAMPAIGNS,
+    CampaignSpec,
+    run_campaign,
+    spec_hash,
+)
+from repro.traffic.trace import Trace
+
+
+class TestRegistry:
+    def test_catalogue_covers_the_attack_surface(self):
+        assert len(CAMPAIGNS) >= 5
+        kinds = set()
+        for campaign in CAMPAIGNS.values():
+            for attacker in campaign.attackers.values():
+                kinds.add(attacker["kind"])
+        assert {"flood", "botnet", "adaptive"} <= kinds
+        probes = {c.protocol_probe for c in CAMPAIGNS.values()}
+        assert {"replay", "precompute"} <= probes
+
+    def test_specs_are_replay_safe(self):
+        """Campaign recipes must keep decisions a pure function of
+        requests: no behavioural feedback, no randomized policies."""
+        for campaign in CAMPAIGNS.values():
+            assert campaign.spec.feedback is False, campaign.name
+            assert campaign.spec.policy != "policy-3", campaign.name
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(ComponentNotFoundError):
+            run_campaign("no-such-campaign")
+
+
+class TestSpecValidation:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(
+                name="x", description="d", populations=(("alien", 3),)
+            )
+
+    def test_empty_populations_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", description="d", populations=())
+
+    def test_typoed_attacker_profile_rejected(self):
+        """Regression: a typoed attacker key used to be ignored,
+        silently recording an attack-free 'attack' trace."""
+        with pytest.raises(ValueError, match="matches no population"):
+            CampaignSpec(
+                name="x",
+                description="d",
+                populations=(("malicious", 3),),
+                attackers={"malicous": {"kind": "flood"}},
+            )
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", description="d", protocol_probe="ddos")
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", description="d", duration=0.0)
+
+
+class TestRuns:
+    def test_run_is_deterministic(self):
+        """Two runs agree on every deterministic decision field (puzzle
+        seeds are CSPRNG-fresh each run, by design)."""
+        first = run_campaign("flood-burst")
+        second = run_campaign("flood-burst")
+        assert [d.canonical() for d in first.trace.decisions()] == [
+            d.canonical() for d in second.trace.decisions()
+        ]
+
+    def test_every_request_decided(self):
+        run = run_campaign("flood-burst")
+        assert len(run.trace) == run.result.extra["requests"]
+        assert all(
+            e.decision is not None and e.decision.verdict == "admit"
+            for e in run.trace
+        )
+
+    def test_trace_header_names_campaign_and_recipe(self):
+        run = run_campaign("flood-burst")
+        header = run.trace.header
+        assert header.meta["campaign"] == "flood-burst"
+        assert header.config_hash == spec_hash(
+            CAMPAIGNS["flood-burst"].spec
+        )
+        assert FrameworkSpec(**header.meta["spec"]) == (
+            CAMPAIGNS["flood-burst"].spec
+        )
+
+    def test_record_path_writes_loadable_trace(self, tmp_path):
+        path = tmp_path / "golden.jsonl"
+        run = run_campaign("benign-baseline", record_path=path)
+        loaded = Trace.load_jsonl(path)
+        assert len(loaded) == len(run.trace)
+        assert loaded.decisions() == run.trace.decisions()
+
+    def test_attack_classes_appear_in_result(self):
+        run = run_campaign("flood-burst")
+        classes = {row[0] for row in run.result.rows}
+        assert {"benign", "malicious"} <= classes
+
+    def test_replay_probe_defense_holds(self):
+        run = run_campaign("replay-probe")
+        assert run.probe_outcome is not None
+        assert run.probe_outcome.attack == "replay"
+        assert run.probe_outcome.succeeded is False
+        # The probe's own admissions were recorded too.
+        assert any(e.profile == "probe" for e in run.trace)
+
+    def test_precompute_probe_defense_holds(self):
+        run = run_campaign("precompute-probe")
+        assert run.probe_outcome is not None
+        assert run.probe_outcome.attack == "precomputation"
+        assert run.probe_outcome.succeeded is False
+        assert sum(1 for e in run.trace if e.profile == "probe") == 4

@@ -1,0 +1,143 @@
+"""Differential harness: matching, field diffs, reports."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.records import DecisionRecord
+from repro.replay import diff_decisions
+
+
+def decision(request_id="a", **overrides) -> DecisionRecord:
+    base = dict(
+        request_id=request_id,
+        client_ip="23.1.2.3",
+        verdict="admit",
+        score=3.5,
+        difficulty=9,
+        policy_name="policy-2",
+        model_name="dabr",
+        puzzle_algorithm="sha256",
+        puzzle_seed="00" * 16,
+    )
+    base.update(overrides)
+    return DecisionRecord(**base)
+
+
+class TestIdentical:
+    def test_equal_streams(self):
+        left = [decision("a"), decision("b")]
+        report = diff_decisions(left, list(left))
+        assert report.identical
+        assert report.matched == 2
+        assert "IDENTICAL" in report.render()
+
+    def test_seed_differences_ignored(self):
+        """CSPRNG seeds legitimately differ between record and replay."""
+        left = [decision("a", puzzle_seed="aa" * 16)]
+        right = [decision("a", puzzle_seed="bb" * 16)]
+        assert diff_decisions(left, right).identical
+
+    def test_order_independent_by_request_id(self):
+        left = [decision("a"), decision("b", difficulty=12)]
+        right = [decision("b", difficulty=12), decision("a")]
+        assert diff_decisions(left, right).identical
+
+    def test_empty_streams(self):
+        assert diff_decisions([], []).identical
+
+
+class TestDivergence:
+    def test_field_diff_reported(self):
+        left = [decision("a", difficulty=9)]
+        right = [decision("a", difficulty=11)]
+        report = diff_decisions(left, right)
+        assert not report.identical
+        assert report.diverged_requests == 1
+        (diff,) = report.field_diffs
+        assert (diff.field, diff.left, diff.right) == ("difficulty", 9, 11)
+        assert "difficulty" in report.render()
+
+    def test_score_compared_bitwise(self):
+        left = [decision("a", score=3.5)]
+        right = [decision("a", score=3.5 + 1e-12)]
+        report = diff_decisions(left, right)
+        assert not report.identical
+
+    def test_missing_and_extra_ids(self):
+        report = diff_decisions(
+            [decision("a"), decision("b")],
+            [decision("b"), decision("c")],
+        )
+        assert report.left_only == ["a"]
+        assert report.right_only == ["c"]
+        assert not report.identical
+
+    def test_verdict_flip_reported(self):
+        left = [decision("a")]
+        right = [
+            decision(
+                "a", verdict="shed", difficulty=-1, score=0.0,
+                policy_name="drop-newest", model_name="",
+                puzzle_algorithm="", detail="queue full",
+            )
+        ]
+        report = diff_decisions(left, right)
+        fields = {diff.field for diff in report.field_diffs}
+        assert "verdict" in fields
+
+    def test_ignore_fields(self):
+        left = [decision("a", score=1.0)]
+        right = [decision("a", score=2.0)]
+        assert diff_decisions(left, right, ignore={"score"}).identical
+
+
+class TestPositionMatching:
+    def test_ids_ignored_by_position(self):
+        left = [decision("rec-1"), decision("rec-2", difficulty=12)]
+        right = [decision("x-1"), decision("x-2", difficulty=12)]
+        assert diff_decisions(
+            left, right, match_by="position"
+        ).identical
+
+    def test_length_mismatch_reported(self):
+        report = diff_decisions(
+            [decision("a")],
+            [decision("a"), decision("b")],
+            match_by="position",
+        )
+        assert report.right_only == ["#1"]
+        assert not report.identical
+
+    def test_unknown_match_by_rejected(self):
+        with pytest.raises(ValueError):
+            diff_decisions([], [], match_by="fuzzy")
+
+    def test_missing_ids_require_position(self):
+        anonymous = dataclasses.replace(decision(), request_id="")
+        with pytest.raises(ValueError):
+            diff_decisions([anonymous], [anonymous])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            diff_decisions([decision("a"), decision("a")], [decision("a")])
+
+
+class TestReportSerialization:
+    def test_json_round_trip(self):
+        report = diff_decisions(
+            [decision("a", difficulty=9)], [decision("a", difficulty=10)]
+        )
+        data = json.loads(report.to_json())
+        assert data["identical"] is False
+        assert data["field_diffs"][0]["field"] == "difficulty"
+        assert data["left_total"] == data["right_total"] == 1
+
+    def test_render_truncates(self):
+        left = [decision(f"r{i}", difficulty=9) for i in range(30)]
+        right = [decision(f"r{i}", difficulty=10) for i in range(30)]
+        text = diff_decisions(left, right).render(limit=5)
+        assert "25 more field diff(s)" in text

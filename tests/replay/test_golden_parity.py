@@ -1,0 +1,82 @@
+"""Golden-trace parity matrix: every serving path, identical decisions.
+
+Extends the PR 1 (batch-vs-scalar) and PR 3 (cluster-vs-single) parity
+discipline to the record/replay subsystem: replaying each shipped
+golden trace through the in-process path, the gateway's micro-batching
+path, and a 2-worker cluster sharding must reproduce the recorded
+decision stream bit-identically — same verdicts, same float scores,
+same difficulties, same policy/model names, request by request.
+
+These are the same comparisons the CI ``replay-regression`` step runs
+via ``repro replay --diff``; keeping them in the tier-1 suite means a
+decision drift fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.replay import TraceReplayer, diff_decisions
+from repro.traffic.trace import Trace
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+GOLDEN_TRACES = sorted(p.name for p in GOLDEN_DIR.glob("*.trace.jsonl"))
+TARGETS = ("inproc", "gateway", "cluster:2")
+
+
+def test_golden_traces_shipped():
+    """The repo must ship golden traces for the matrix to mean anything."""
+    assert len(GOLDEN_TRACES) >= 4, (
+        f"expected >=4 golden traces under {GOLDEN_DIR}, "
+        f"found {GOLDEN_TRACES}"
+    )
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Loaded golden traces, cached per module (loading is pure I/O)."""
+    return {
+        name: Trace.load_jsonl(GOLDEN_DIR / name)
+        for name in GOLDEN_TRACES
+    }
+
+
+@pytest.mark.parametrize("name", GOLDEN_TRACES)
+@pytest.mark.parametrize("target", TARGETS)
+def test_replay_reproduces_recording(golden, name, target):
+    """The matrix cell: trace x target -> bit-identical decisions."""
+    trace = golden[name]
+    recorded = trace.decisions()
+    assert recorded, f"{name} carries no decisions"
+    result = TraceReplayer(trace, target=target).run()
+    report = diff_decisions(recorded, result.decisions)
+    assert report.identical, (
+        f"{name} through {target} diverged:\n{report.render()}"
+    )
+
+
+@pytest.mark.parametrize("name", GOLDEN_TRACES)
+def test_targets_agree_with_each_other(golden, name):
+    """Cross-target: all three replay paths produce one decision stream."""
+    trace = golden[name]
+    streams = {
+        target: TraceReplayer(trace, target=target).run().decisions
+        for target in TARGETS
+    }
+    baseline = streams["inproc"]
+    for target in ("gateway", "cluster:2"):
+        report = diff_decisions(baseline, streams[target])
+        assert report.identical, (
+            f"{name}: inproc vs {target} diverged:\n{report.render()}"
+        )
+
+
+def test_golden_headers_are_v2(golden):
+    """Golden traces must carry a v2 header with recipe hash and seed."""
+    for name, trace in golden.items():
+        assert trace.header is not None, f"{name} has no header"
+        assert trace.header.version == 2
+        assert trace.header.config_hash, f"{name} lacks a config hash"
+        assert trace.header.meta.get("spec"), f"{name} lacks its recipe"

@@ -1,0 +1,216 @@
+"""Trace schema v2: headers, decisions, loud failures, duplicate ids."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.records import ClientRequest, DecisionRecord
+from repro.traffic.trace import (
+    TRACE_FORMAT_VERSION,
+    Trace,
+    TraceEntry,
+    TraceHeader,
+)
+
+
+def make_entry(
+    timestamp: float,
+    request_id: str,
+    ip: str = "23.1.2.3",
+    decision: DecisionRecord | None = None,
+) -> TraceEntry:
+    return TraceEntry(
+        request=ClientRequest(
+            client_ip=ip,
+            resource="/r",
+            timestamp=timestamp,
+            features={"f": 1.0},
+            request_id=request_id,
+        ),
+        profile="benign",
+        true_score=2.0,
+        decision=decision,
+    )
+
+
+def make_decision(request_id: str) -> DecisionRecord:
+    return DecisionRecord(
+        request_id=request_id,
+        client_ip="23.1.2.3",
+        verdict="admit",
+        score=3.25,
+        difficulty=9,
+        policy_name="policy-2",
+        model_name="dabr",
+        puzzle_algorithm="sha256",
+        puzzle_seed="ab" * 16,
+    )
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = TraceHeader(
+            config_hash="deadbeef", seed=77, meta={"campaign": "x"}
+        )
+        rebuilt = TraceHeader.from_json(header.to_json())
+        assert rebuilt == header
+
+    def test_unknown_version_fails_loudly(self):
+        line = json.dumps({"trace_format": 99})
+        with pytest.raises(TraceFormatError) as excinfo:
+            TraceHeader.from_json(line, line_number=1)
+        assert "99" in str(excinfo.value)
+        assert "line 1" in str(excinfo.value)
+
+    def test_writes_current_version(self):
+        data = json.loads(TraceHeader().to_json())
+        assert data["trace_format"] == TRACE_FORMAT_VERSION
+
+
+class TestV2RoundTrip:
+    def test_entries_with_decisions_round_trip(self, tmp_path):
+        trace = Trace(
+            [
+                make_entry(1.0, "a", decision=make_decision("a")),
+                make_entry(2.0, "b"),
+            ],
+            header=TraceHeader(config_hash="cafe", seed=3),
+        )
+        path = tmp_path / "t.jsonl"
+        trace.dump_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert loaded.header == trace.header
+        assert loaded[0].decision == make_decision("a")
+        assert loaded[1].decision is None
+        assert loaded.decisions() == [make_decision("a")]
+
+    def test_decision_score_survives_exactly(self, tmp_path):
+        """Float fidelity: replay diffs compare scores bit-for-bit."""
+        score = 3.141592653589793 / 7.0
+        decision = DecisionRecord(
+            request_id="a",
+            client_ip="23.1.2.3",
+            verdict="admit",
+            score=score,
+        )
+        trace = Trace([make_entry(1.0, "a", decision=decision)])
+        path = tmp_path / "t.jsonl"
+        trace.dump_jsonl(path)
+        assert Trace.load_jsonl(path)[0].decision.score == score
+
+    def test_legacy_v1_files_still_load(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        entries = [make_entry(1.0, "a"), make_entry(2.0, "b")]
+        path.write_text(
+            "".join(e.to_json() + "\n" for e in entries),
+            encoding="utf-8",
+        )
+        loaded = Trace.load_jsonl(path)
+        assert loaded.header is None
+        assert len(loaded) == 2
+
+
+class TestLoudFailures:
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = make_entry(1.0, "a").to_json()
+        path.write_text(
+            f"{TraceHeader().to_json()}\n{good}\nnot json at all\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load_jsonl(path)
+        assert "line 3" in str(excinfo.value)
+
+    def test_truncated_entry_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = make_entry(1.0, "a").to_json()
+        path.write_text(
+            f"{TraceHeader().to_json()}\n{good}\n{good[: len(good) // 2]}\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load_jsonl(path)
+        assert "line 3" in str(excinfo.value)
+
+    def test_missing_field_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        data = json.loads(make_entry(1.0, "a").to_json())
+        del data["profile"]
+        path.write_text(json.dumps(data) + "\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load_jsonl(path)
+        assert "line 1" in str(excinfo.value)
+
+    def test_unknown_version_rejected_on_load(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"trace_format": 3}) + "\n", encoding="utf-8"
+        )
+        with pytest.raises(TraceFormatError):
+            Trace.load_jsonl(path)
+
+
+class TestDuplicateRequestIds:
+    """Regression: the loader used to accept duplicated ids silently."""
+
+    def test_duplicate_ids_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            f"{make_entry(1.0, 'dup').to_json()}\n"
+            f"{make_entry(2.0, 'dup').to_json()}\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load_jsonl(path)
+        message = str(excinfo.value)
+        assert "dup" in message
+        assert "line 2" in message
+
+    def test_duplicate_ids_rejected_in_v2(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace = Trace(
+            [make_entry(1.0, "x")], header=TraceHeader(config_hash="c")
+        )
+        trace.dump_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(make_entry(9.0, "x").to_json() + "\n")
+        with pytest.raises(TraceFormatError):
+            Trace.load_jsonl(path)
+
+    def test_distinct_ids_accepted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            f"{make_entry(1.0, 'a').to_json()}\n"
+            f"{make_entry(2.0, 'b').to_json()}\n",
+            encoding="utf-8",
+        )
+        assert len(Trace.load_jsonl(path)) == 2
+
+    def test_empty_ids_do_not_collide(self, tmp_path):
+        """Legacy entries without ids are not 'duplicates' of each other."""
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            f"{make_entry(1.0, '').to_json()}\n"
+            f"{make_entry(2.0, '').to_json()}\n",
+            encoding="utf-8",
+        )
+        assert len(Trace.load_jsonl(path)) == 2
+
+
+class TestDecisionRecord:
+    def test_mapping_round_trip(self):
+        decision = make_decision("a")
+        assert DecisionRecord.from_mapping(decision.to_mapping()) == decision
+
+    def test_canonical_excludes_seed(self):
+        assert "puzzle_seed" not in make_decision("a").canonical()
+
+    def test_invalid_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionRecord(
+                request_id="a", client_ip="1.2.3.4", verdict="maybe"
+            )

@@ -35,6 +35,16 @@ class TestParser:
                 "--state-dir", "d", "--workers", "4",
             ],
             ["state", "show", "somewhere"],
+            ["record", "--out", "t.jsonl", "--scenario", "flood-burst"],
+            ["record", "--out", "t.jsonl", "--target", "cluster:2"],
+            [
+                "replay", "--trace", "t.jsonl", "--target", "cluster:4",
+                "--speed", "2.0", "--diff", "--diff-report", "d.json",
+            ],
+            ["replay", "--trace", "t.jsonl", "--live"],
+            ["campaign", "--list"],
+            ["campaign", "--scenario", "benign-baseline", "--record", "g"],
+            ["serve", "--gateway", "--record", "t.jsonl"],
             ["all"],
         ],
     )
@@ -121,6 +131,158 @@ class TestCommands:
 
         data = json.loads((out_dir / "cal31.json").read_text())
         assert data["experiment_id"] == "cal31"
+
+
+class TestReplayCommands:
+    def test_campaign_list(self, capsys):
+        code = main(["campaign", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flood-burst" in out
+        assert "replay-probe" in out
+
+    def test_campaign_unknown_rejected(self, capsys):
+        code = main(["campaign", "--scenario", "nope"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown campaign" in out
+
+    def test_record_then_replay_diff_identical(self, tmp_path, capsys):
+        trace_path = tmp_path / "golden.jsonl"
+        code = main(
+            ["record", "--out", str(trace_path),
+             "--scenario", "benign-baseline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded" in out
+        assert trace_path.exists()
+
+        report_path = tmp_path / "diff.json"
+        code = main(
+            ["replay", "--trace", str(trace_path), "--diff",
+             "--diff-report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IDENTICAL" in out
+        import json
+
+        assert json.loads(report_path.read_text())["identical"] is True
+
+    def test_replay_writes_decision_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "golden.jsonl"
+        main(["campaign", "--scenario", "benign-baseline",
+              "--record", str(trace_path)])
+        capsys.readouterr()
+        out_path = tmp_path / "replayed.jsonl"
+        code = main(
+            ["replay", "--trace", str(trace_path), "--target",
+             "cluster:2", "--out", str(out_path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        from repro.traffic.trace import Trace
+
+        replayed = Trace.load_jsonl(out_path)
+        assert len(replayed.decisions()) == len(
+            Trace.load_jsonl(trace_path)
+        )
+
+    def test_replay_diverging_config_exits_1(self, tmp_path, capsys):
+        """Config-A-vs-config-B through the CLI: divergence is exit 1."""
+        trace_path = tmp_path / "golden.jsonl"
+        main(["campaign", "--scenario", "botnet-siege",
+              "--record", str(trace_path)])
+        capsys.readouterr()
+        # Rewrite the recorded recipe to a different policy: the replay
+        # rebuilds from the header and must now diverge.
+        from repro.traffic.trace import Trace, TraceHeader
+
+        trace = Trace.load_jsonl(trace_path)
+        meta = dict(trace.header.meta)
+        meta["spec"] = dict(meta["spec"], policy="policy-2")
+        Trace(
+            trace.entries,
+            header=TraceHeader(seed=trace.header.seed, meta=meta),
+        ).dump_jsonl(trace_path)
+        code = main(["replay", "--trace", str(trace_path), "--diff"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+
+    def test_replay_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"trace_format": 9}\n', encoding="utf-8")
+        code = main(["replay", "--trace", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "line 1" in out
+
+    def test_replay_without_decisions_cannot_diff(self, tmp_path, capsys):
+        from repro.traffic.trace import Trace, TraceHeader
+        from repro.core.records import ClientRequest
+        from repro.traffic.trace import TraceEntry
+
+        path = tmp_path / "requests-only.jsonl"
+        Trace(
+            [
+                TraceEntry(
+                    request=ClientRequest(
+                        client_ip="23.1.1.1",
+                        resource="/r",
+                        timestamp=0.0,
+                        features={},
+                        request_id="a",
+                    ),
+                    profile="benign",
+                    true_score=1.0,
+                )
+            ],
+            header=TraceHeader(),
+        ).dump_jsonl(path)
+        code = main(["replay", "--trace", str(path), "--diff"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "no recorded decisions" in out
+
+    def test_live_replay_diff_of_sim_trace_identical(
+        self, tmp_path, capsys
+    ):
+        """Regression: --live --diff used to flag every decision
+        because the loopback remapping changed client_ip; live diffs
+        now compare by position and ignore the remapped address."""
+        trace_path = tmp_path / "golden.jsonl"
+        main(["campaign", "--scenario", "benign-baseline",
+              "--record", str(trace_path)])
+        capsys.readouterr()
+        code = main(["replay", "--trace", str(trace_path), "--live",
+                     "--diff"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "IDENTICAL" in out
+
+    def test_live_replay_rejects_speed(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        trace_path.write_text("", encoding="utf-8")
+        code = main(["replay", "--trace", str(trace_path), "--live",
+                     "--speed", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "--speed" in out
+
+    def test_record_unknown_campaign_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["record", "--out", str(tmp_path / "t"), "--scenario", "nah"]
+        )
+        assert code == 2
+
+    def test_record_inproc_target_rejected(self, tmp_path, capsys):
+        code = main(
+            ["record", "--out", str(tmp_path / "t"),
+             "--target", "inproc"]
+        )
+        assert code == 2
 
 
 class TestStateCommands:

@@ -65,6 +65,7 @@ def test_subpackages_importable():
         "repro.net.live",
         "repro.metrics",
         "repro.bench",
+        "repro.replay",
         "repro.cli",
     ):
         assert importlib.import_module(module)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the golden traces under tests/golden/.
+
+Each golden trace is one campaign recorded through the deterministic
+simulator (``repro campaign --scenario X --record ...``).  Regenerate
+only when a deliberate pipeline change legitimately shifts decisions —
+the replay-regression CI step and tests/replay/test_golden_parity.py
+treat these files as ground truth.
+
+Usage: PYTHONPATH=src python tools/regen_golden.py [outdir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.replay import CAMPAIGNS, run_campaign  # noqa: E402
+
+#: Campaigns shipped as golden traces (all of them, today).
+GOLDEN_CAMPAIGNS = tuple(sorted(CAMPAIGNS))
+
+
+def main() -> int:
+    out_dir = pathlib.Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "tests"
+        / "golden"
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in GOLDEN_CAMPAIGNS:
+        path = out_dir / f"{name}.trace.jsonl"
+        run = run_campaign(name, record_path=path)
+        print(
+            f"{path}: {len(run.trace)} decisions "
+            f"({path.stat().st_size / 1024:.0f} KiB)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
