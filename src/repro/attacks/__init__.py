@@ -3,7 +3,7 @@
 from typing import Any, Mapping
 
 from repro.attacks.adaptive import AdaptiveAttacker
-from repro.attacks.base import AttackerModel
+from repro.attacks.base import AttackerModel, decide_batch
 from repro.attacks.botnet import BotnetAttacker
 from repro.attacks.flood import FloodAttacker
 from repro.attacks.protocol_attacks import (
@@ -20,6 +20,7 @@ __all__ = [
     "AttackOutcome",
     "PrecomputationAttacker",
     "ReplayAttacker",
+    "decide_batch",
     "make_attacker",
 ]
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.pow.difficulty import expected_attempts
 from repro.traffic.profiles import STEALTH_PROFILE, ClientProfile
 
@@ -69,3 +71,13 @@ class AdaptiveAttacker:
 
     def should_solve(self, difficulty: int) -> bool:
         return self.expected_cost_seconds(difficulty) <= self.value_per_request
+
+    def decide_batch(self, difficulties: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`should_solve` over a difficulty array.
+
+        Uses the same ``2**d / hash_rate`` expectation (``expected_attempts``
+        is exactly ``float(2**d)``), so batch and scalar decisions agree
+        bit for bit.
+        """
+        cost = np.exp2(np.asarray(difficulties, dtype=np.float64))
+        return cost / self.hash_rate <= self.value_per_request

@@ -15,14 +15,24 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.traffic.profiles import ClientProfile
 
-__all__ = ["AttackerModel"]
+__all__ = ["AttackerModel", "decide_batch"]
 
 
 @runtime_checkable
 class AttackerModel(Protocol):
-    """The contract the simulator consumes for adversaries."""
+    """The contract the simulator consumes for adversaries.
+
+    ``should_solve`` is the required scalar hook.  The shipped
+    attackers additionally implement ``decide_batch`` (a boolean
+    vector over a difficulty array) so the vectorized simulator can
+    resolve a whole cohort's decisions in one pass; third-party
+    scalar-only attackers keep working through the loop fallback in
+    :func:`decide_batch`.
+    """
 
     @property
     def name(self) -> str:
@@ -37,3 +47,25 @@ class AttackerModel(Protocol):
     def should_solve(self, difficulty: int) -> bool:
         """The adversary's decision when handed a ``difficulty`` puzzle."""
         ...
+
+
+def decide_batch(decider, difficulties: np.ndarray) -> np.ndarray:
+    """Solve/refuse decisions for a difficulty vector.
+
+    Dispatches to the decider's own ``decide_batch`` when it has one
+    (the shipped attackers — one vector op per cohort); otherwise
+    loops the scalar decision, accepting either an
+    :class:`AttackerModel` (``should_solve``) or a bare
+    ``difficulty -> bool`` callable, so anything the callback
+    simulators accept as a solve decider works here unchanged.
+    """
+    difficulties = np.asarray(difficulties)
+    batch = getattr(decider, "decide_batch", None)
+    if batch is not None:
+        return np.asarray(batch(difficulties), dtype=bool)
+    scalar = getattr(decider, "should_solve", decider)
+    return np.fromiter(
+        (bool(scalar(int(d))) for d in difficulties),
+        dtype=bool,
+        count=len(difficulties),
+    )

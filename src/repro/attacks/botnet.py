@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.traffic.profiles import MALICIOUS_PROFILE, ClientProfile
 
 __all__ = ["BotnetAttacker"]
@@ -49,3 +51,7 @@ class BotnetAttacker:
 
     def should_solve(self, difficulty: int) -> bool:
         return difficulty <= self.max_difficulty
+
+    def decide_batch(self, difficulties: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`should_solve` over a difficulty array."""
+        return np.asarray(difficulties) <= self.max_difficulty

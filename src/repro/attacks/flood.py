@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.traffic.profiles import MALICIOUS_PROFILE, ClientProfile
 
 __all__ = ["FloodAttacker"]
@@ -30,3 +32,7 @@ class FloodAttacker:
     def should_solve(self, difficulty: int) -> bool:
         """A flood never greets the puzzle with CPU; difficulty 0 is free."""
         return difficulty == 0
+
+    def decide_batch(self, difficulties: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`should_solve` over a difficulty array."""
+        return np.asarray(difficulties) == 0

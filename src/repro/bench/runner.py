@@ -82,12 +82,19 @@ def _replay_throughput_result() -> ExperimentResult:
     return run_replay_throughput()
 
 
+def _megasim_result() -> ExperimentResult:
+    from repro.bench.megasim import run_megasim_throughput
+
+    return run_megasim_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
 EXPERIMENTS["thr-live"] = _live_throughput_result
 EXPERIMENTS["thr-shard"] = _shard_throughput_result
 EXPERIMENTS["thr-replay"] = _replay_throughput_result
+EXPERIMENTS["megasim"] = _megasim_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

@@ -20,7 +20,10 @@ interactive modes:
 * ``replay``    — feed a recorded trace back through any serving
   configuration and diff the decision streams;
 * ``campaign``  — run a named adversarial scenario spec (optionally
-  recording its golden trace);
+  recording its golden trace; large-scale scenarios run on the
+  vectorized engine and record no trace);
+* ``profile``   — run any registered experiment under cProfile and
+  print the top cumulative hotspots;
 * ``all``       — every experiment, in DESIGN.md order.
 """
 
@@ -218,6 +221,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--list", action="store_true", help="list available campaigns"
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an experiment under cProfile and print hotspots",
+    )
+    profile.add_argument(
+        "experiment", metavar="EXPERIMENT-ID",
+        help="registered experiment id (fig2, thr-batch, megasim, ...)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20,
+        help="number of cumulative-time rows to print (default 20)",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also dump raw pstats data here (snakeviz/pstats readable)",
     )
 
     export = sub.add_parser(
@@ -650,6 +670,10 @@ def _cmd_record(args: argparse.Namespace) -> int:
               f"available: {', '.join(sorted(CAMPAIGNS))}")
         return 2
     campaign = CAMPAIGNS[args.scenario]
+    if campaign.scale is not None:
+        print(f"campaign {args.scenario!r} is large-scale: it aggregates "
+              "outcomes and records no per-decision trace")
+        return 2
 
     if args.target == "sim":
         run = run_campaign(campaign, record_path=args.out)
@@ -785,16 +809,60 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.list or args.scenario is None:
         for name in sorted(CAMPAIGNS):
-            print(f"{name}: {CAMPAIGNS[name].description}")
+            campaign = CAMPAIGNS[name]
+            tag = (
+                f" [scale: {campaign.agents:,} agents]"
+                if campaign.scale is not None
+                else ""
+            )
+            print(f"{name}: {campaign.description}{tag}")
         return 0 if args.list else 2
     if args.scenario not in CAMPAIGNS:
         print(f"unknown campaign {args.scenario!r}; "
               f"available: {', '.join(sorted(CAMPAIGNS))}")
         return 2
-    run = run_campaign(args.scenario, record_path=args.record)
+    try:
+        run = run_campaign(args.scenario, record_path=args.record)
+    except ValueError as exc:
+        # e.g. --record of a large-scale campaign (they aggregate
+        # outcomes; the library owns that rule).
+        print(exc)
+        return 2
     print(run.result.render())
     if args.record:
         print(f"\ngolden trace written to {args.record}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro.bench.runner import EXPERIMENTS, run_experiment
+    from repro.core.errors import ComponentNotFoundError
+
+    if args.top < 1:
+        print(f"--top must be >= 1, got {args.top}")
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(args.experiment)
+    except ComponentNotFoundError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"available: {', '.join(sorted(EXPERIMENTS))}")
+        return 2
+    finally:
+        profiler.disable()
+    print(result.render())
+    print()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    print(f"top {args.top} hotspots by cumulative time:")
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw profile written to {args.out}")
     return 0
 
 
@@ -844,6 +912,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "replay": _cmd_replay,
     "campaign": _cmd_campaign,
+    "profile": _cmd_profile,
     "scenario": _cmd_scenario,
     "export": _cmd_export,
     "all": _cmd_all,

@@ -257,11 +257,7 @@ class AIPoWFramework:
                     EventKind.SCORED, at, request=request, score=float(score)
                 )
 
-        raw = self._difficulties_for(scores)
-        clamped = np.clip(
-            raw, self.config.min_difficulty, self.config.pow.max_difficulty
-        )
-        difficulties = [int(d) for d in clamped]
+        difficulties = [int(d) for d in self.difficulties_for_scores(scores)]
         policy_name = self.policy.name
         if events.has_subscribers(EventKind.POLICY_APPLIED):
             for request, at, score, difficulty in zip(
@@ -327,6 +323,23 @@ class AIPoWFramework:
             [self.model.score_request(request) for request in requests],
             dtype=np.float64,
         )
+
+    def difficulties_for_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Clamped difficulties for a score vector — the decision core.
+
+        The array-level admission kernel: policy mapping (vectorised
+        when the policy supports it, RNG consumed in score order
+        otherwise) followed by the config difficulty clamp, with no
+        per-request object construction.  :meth:`challenge_batch` is
+        built on it; the vectorized simulator calls it directly when
+        nothing is subscribed to admission events, which is what makes
+        million-agent campaigns affordable.
+        """
+        return np.clip(
+            self._difficulties_for(scores),
+            self.config.min_difficulty,
+            self.config.pow.max_difficulty,
+        ).astype(np.int64)
 
     def _difficulties_for(self, scores: np.ndarray) -> np.ndarray:
         """Policy difficulties for a score vector, vectorised when possible.

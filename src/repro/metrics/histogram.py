@@ -34,6 +34,20 @@ class SampleSet:
         for value in values:
             self.add(value)
 
+    def extend_array(self, values: np.ndarray) -> None:
+        """Bulk-append a numpy array of samples (one finite check).
+
+        The vectorized simulator folds whole outcome cohorts into the
+        collector at once; looping :meth:`add` over a million floats
+        would dominate its runtime.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise ValueError("samples must be finite")
+        self._values.extend(values.tolist())
+
     def __len__(self) -> int:
         return len(self._values)
 

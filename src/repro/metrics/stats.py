@@ -41,6 +41,29 @@ class StreamingStats:
         for value in values:
             self.add(value)
 
+    def add_array(self, values) -> "StreamingStats":
+        """Fold a numpy array of observations in one vectorised step.
+
+        Summarises the array (count/mean/M2/extremes via numpy) and
+        merges it with the parallel-merge formula — numerically the
+        same accumulator :meth:`add` would build, at array speed.
+        Returns self.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return self
+        if not np.isfinite(values).all():
+            raise ValueError("observations must be finite")
+        block = StreamingStats()
+        block._count = int(values.size)
+        block._mean = float(values.mean())
+        block._m2 = float(((values - block._mean) ** 2).sum())
+        block._min = float(values.min())
+        block._max = float(values.max())
+        return self.merge(block)
+
     def merge(self, other: "StreamingStats") -> "StreamingStats":
         """Combine two accumulators (parallel-merge formula); returns self."""
         if other._count == 0:

@@ -1,5 +1,7 @@
 """Discrete-event simulation of the framework's network environment."""
 
+from repro.net.sim.agents import AgentPopulation
+from repro.net.sim.calendar import CalendarQueue
 from repro.net.sim.channel import (
     Channel,
     FixedDelayChannel,
@@ -12,18 +14,23 @@ from repro.net.sim.closedloop import (
     SessionSpec,
 )
 from repro.net.sim.engine import EventEngine, ScheduledEvent
+from repro.net.sim.fastsim import FastFeedback, FastSimulation
 from repro.net.sim.simulation import ServerModel, Simulation, SimulationReport
 from repro.net.sim.solvetime import SolveSample, SolveTimeModel
 
 __all__ = [
     "EventEngine",
     "ScheduledEvent",
+    "CalendarQueue",
     "Channel",
     "FixedDelayChannel",
     "UniformJitterChannel",
     "LognormalChannel",
     "SolveTimeModel",
     "SolveSample",
+    "AgentPopulation",
+    "FastFeedback",
+    "FastSimulation",
     "Simulation",
     "SimulationReport",
     "ServerModel",

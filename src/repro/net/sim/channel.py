@@ -22,7 +22,14 @@ __all__ = [
 
 @runtime_checkable
 class Channel(Protocol):
-    """Samples one-way network delays in seconds."""
+    """Samples one-way network delays in seconds.
+
+    ``one_way_delay`` is the required scalar hook.  The shipped
+    channels additionally implement ``delay_array(rng, count)`` — a
+    numpy-generator batch draw — so the vectorized simulator can
+    sample a whole cohort's crossings in one call; third-party
+    scalar-only channels fall back to a per-draw loop there.
+    """
 
     def one_way_delay(self, rng: random.Random) -> float: ...
 
@@ -42,6 +49,12 @@ class FixedDelayChannel:
     def one_way_delay(self, rng: random.Random) -> float:
         return self.delay
 
+    def delay_array(self, rng, count: int):
+        """Batch draw: the constant, broadcastable (no RNG consumed)."""
+        import numpy as np
+
+        return np.full(count, self.delay)
+
 
 class UniformJitterChannel:
     """Base delay plus uniform jitter in ``[0, jitter]`` seconds."""
@@ -56,6 +69,10 @@ class UniformJitterChannel:
 
     def one_way_delay(self, rng: random.Random) -> float:
         return self.base + rng.uniform(0.0, self.jitter)
+
+    def delay_array(self, rng, count: int):
+        """Batch draw from a numpy generator (same distribution)."""
+        return self.base + rng.uniform(0.0, self.jitter, count)
 
 
 class LognormalChannel:
@@ -77,3 +94,7 @@ class LognormalChannel:
 
     def one_way_delay(self, rng: random.Random) -> float:
         return rng.lognormvariate(self.mu, self.sigma)
+
+    def delay_array(self, rng, count: int):
+        """Batch draw from a numpy generator (same distribution)."""
+        return rng.lognormal(self.mu, self.sigma, count)

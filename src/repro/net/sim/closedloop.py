@@ -99,10 +99,29 @@ class ClosedLoopSimulation:
         seed: int = 4321,
         hash_rates: Mapping[str, float] | None = None,
         recorder=None,
+        engine: str = "callback",
     ) -> None:
+        if engine not in ("callback", "fast"):
+            raise ValueError(
+                f"engine must be 'callback' or 'fast', got {engine!r}"
+            )
         self.framework = framework
         self.recorder = recorder
-        if recorder is not None:
+        self.engine_kind = engine
+        self._fast = None
+        if engine == "fast":
+            from repro.net.sim.fastsim import FastSimulation
+
+            # The fast core owns the recorder attachment in this mode.
+            self._fast = FastSimulation(
+                framework,
+                channel=channel,
+                server_model=server_model,
+                seed=seed,
+                hash_rates=dict(hash_rates or {}),
+                recorder=recorder,
+            )
+        elif recorder is not None:
             recorder.attach(framework.events)
         timing = framework.config.timing
         self.channel = channel or FixedDelayChannel(timing.network_overhead / 4)
@@ -137,6 +156,12 @@ class ClosedLoopSimulation:
     # ------------------------------------------------------------------
     def add_session(self, session: SessionSpec) -> None:
         """Register a session; its first request fires at ``session.start``."""
+        if self._fast is not None:
+            raise ValueError(
+                "engine='fast' consumes the whole session list passed "
+                "to run(); pre-added sessions would be silently "
+                "dropped — include them in the run() argument instead"
+            )
         self._profiles[session.client.ip] = session.client.profile.name
         if self.recorder is not None:
             self.recorder.register_source(
@@ -279,6 +304,13 @@ class ClosedLoopSimulation:
         """Drive ``sessions`` to completion (or ``until``)."""
         if not sessions:
             raise ValueError("need at least one session")
+        if self._fast is not None:
+            report = self._fast.run_sessions(sessions, until=until)
+            self.metrics = report.metrics
+            self._completed = report.completed_exchanges
+            self.admission_batches = self._fast.admission_batches
+            self.largest_admission_batch = self._fast.largest_admission_batch
+            return report
         for session in sessions:
             self.add_session(session)
         self.engine.run(until=until)

@@ -36,10 +36,22 @@ class ScheduledEvent:
     seq: int
     callback: Callable[[], None] = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(compare=False, default=False)
+    _engine: "EventEngine | None" = dataclasses.field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Idempotent; the owning engine keeps a live pending counter and
+        compacts its heap when cancelled entries pile up, so cancelling
+        is O(1) amortised even over very long closed-loop runs.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._on_cancel()
 
 
 class EventEngine:
@@ -51,10 +63,14 @@ class EventEngine:
     corrupt results if tolerated.
     """
 
+    #: Compaction floor: tiny heaps are never worth rebuilding.
+    _COMPACT_MIN = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
+        self._pending = 0
         self.processed_count = 0
 
     @property
@@ -68,8 +84,25 @@ class EventEngine:
 
     @property
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-executed (and not cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, not-yet-executed (and not cancelled) events.
+
+        Maintained as a live counter (O(1)); the heap itself may
+        briefly hold more entries than this until compaction sweeps
+        the cancelled ones out.
+        """
+        return self._pending
+
+    def _on_cancel(self) -> None:
+        self._pending -= 1
+        # Compact once cancelled entries outnumber live ones: a long
+        # closed-loop run cancelling timeouts would otherwise leak the
+        # whole history into the heap.
+        if (
+            len(self._heap) >= self._COMPACT_MIN
+            and self._pending * 2 < len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
 
     def schedule_at(
         self, when: float, callback: Callable[[], None]
@@ -81,8 +114,11 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule at {when} before current time {self._now}"
             )
-        event = ScheduledEvent(time=when, seq=next(self._seq), callback=callback)
+        event = ScheduledEvent(
+            time=when, seq=next(self._seq), callback=callback, _engine=self
+        )
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def schedule(
@@ -99,6 +135,10 @@ class EventEngine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._pending -= 1
+            # Detach so a late cancel() of an executed event cannot
+            # drive the pending counter negative.
+            event._engine = None
             self._now = event.time
             event.callback()
             self.processed_count += 1

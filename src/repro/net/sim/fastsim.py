@@ -1,0 +1,1325 @@
+"""Vectorized simulation core: SoA agent state, cohort event dispatch.
+
+The callback engine (:mod:`repro.net.sim.engine`) pays a Python
+closure, a heap operation and a per-event dispatch for every request —
+which caps campaign scale at thousands of agents.  This module is the
+same network/server/solve model re-expressed over arrays:
+
+* **state** is struct-of-arrays (:class:`~repro.net.sim.agents.AgentPopulation`
+  plus per-run vectors: per-address CPU-free times, per-fire solve
+  finish times, pending puzzle difficulties);
+* **scheduling** is a bucketed calendar queue
+  (:class:`~repro.net.sim.calendar.CalendarQueue`) that dequeues whole
+  same-timestep *cohorts* instead of single events;
+* **admission** drives each cohort through the framework's batch
+  pipeline — :meth:`~repro.core.framework.AIPoWFramework.challenge_batch`
+  when anything (a recorder) listens on the event bus, or the
+  object-free :meth:`~repro.core.framework.AIPoWFramework.difficulties_for_scores`
+  array kernel when nothing does (models whose scores react to
+  response outcomes — behavioural feedback — are rejected loudly:
+  this engine emits no per-response events, so their state would
+  silently freeze; use the callback engine, or :class:`FastFeedback`
+  in agent-driven runs);
+* **solving** is vectorised geometric sampling (the numpy counterpart
+  of :func:`repro.pow.solver.sample_attempts`).
+
+No per-request Python closure exists on the hot path.
+
+Fidelity contract
+-----------------
+The simulated *model* is the one documented in
+:mod:`repro.net.sim.simulation`: FIFO server with distinct
+challenge/verify/resource costs, per-address CPU serialisation,
+patience-bounded solving, TTL expiry.  Admission **decision streams**
+(request order, scores, difficulties — everything
+:meth:`~repro.core.records.DecisionRecord.canonical` compares) are
+bit-identical to the callback engine on the same workload; the parity
+matrix in ``tests/replay/test_fastsim_parity.py`` gates this on every
+golden-trace scenario.  *Timing* randomness (channel jitter, solve
+draws) comes from a numpy generator rather than ``random.Random``, so
+latency samples are deterministic per seed but drawn in a different
+stream than the callback engine — metrics agree statistically, not bit
+for bit.  One corollary: a load-adaptive policy's decisions are a
+function of queue timing, so under solving traffic they inherit the
+timing stream's seed-sensitivity (two callback runs with different
+seeds diverge the same way); the engines still interleave load
+observations with decisions identically, which the parity suite pins
+down with deterministic-timing workloads.  The callback engine remains the reference implementation and
+still owns the odd TTL/timeout edge (it emits per-response bus events,
+which behavioural feedback and timeline collectors consume).
+
+With ``tick`` set, event times are quantized up onto a grid, merging
+near-simultaneous events into large cohorts — the knob the
+million-agent scenarios use.  ``tick=None`` keeps exact times (cohorts
+form only at genuinely equal instants, exactly like the callback
+engine's same-timestep arrival batching).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.framework import AIPoWFramework
+from repro.core.records import ResponseStatus
+from repro.metrics.collector import MetricsCollector
+from repro.net.sim.agents import AgentPopulation
+from repro.net.sim.calendar import CalendarQueue
+from repro.net.sim.channel import Channel, FixedDelayChannel
+from repro.net.sim.simulation import ServerModel, SimulationReport
+from repro.policies.adaptive import LoadAdaptivePolicy
+
+__all__ = [
+    "FastSimulation",
+    "FastFeedback",
+    "sample_attempts_array",
+    "collector_from_buffers",
+]
+
+_STATUS_CODES = tuple(ResponseStatus)
+_SERVED = _STATUS_CODES.index(ResponseStatus.SERVED)
+
+
+def sample_attempts_array(
+    difficulties: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Geometric attempt counts for a difficulty vector.
+
+    Vectorised inverse-CDF sampling, the array sibling of
+    :func:`repro.pow.solver.sample_attempts`: ``ceil(ln U / ln(1 -
+    2**-d))`` with difficulty 0 solving on the first attempt.
+    """
+    d = np.asarray(difficulties, dtype=np.float64)
+    attempts = np.ones(d.shape, dtype=np.float64)
+    mask = d > 0
+    if mask.any():
+        p = np.exp2(-d[mask])
+        u = rng.random(int(mask.sum()))
+        # Guard the u == 0 edge (log(0)); nudging to the smallest
+        # positive float is the array equivalent of redrawing.
+        u = np.maximum(u, np.nextafter(0.0, 1.0))
+        attempts[mask] = np.maximum(
+            1.0, np.ceil(np.log(u) / np.log1p(-p))
+        )
+    return attempts
+
+
+class _OutcomeBuffers:
+    """Per-(class, status) outcome accumulator, array-chunk based."""
+
+    def __init__(self) -> None:
+        self._chunks: dict[tuple[str, int], list[tuple]] = {}
+        self.count = 0
+
+    def record(
+        self,
+        class_names: Sequence[str],
+        class_ids: np.ndarray,
+        status: ResponseStatus | np.ndarray,
+        latency: np.ndarray,
+        scores: np.ndarray,
+        difficulties: np.ndarray,
+        attempts: np.ndarray,
+    ) -> None:
+        """Fold one terminal cohort into the buffers.
+
+        ``status`` is either one :class:`ResponseStatus` for the whole
+        cohort or an int-code array (indexes into ``ResponseStatus``
+        declaration order) for mixed served/expired cohorts.
+        """
+        if latency.size == 0:
+            return
+        self.count += int(latency.size)
+        if isinstance(status, ResponseStatus):
+            status_codes = np.full(
+                latency.size, _STATUS_CODES.index(status), dtype=np.int8
+            )
+        else:
+            status_codes = status
+        for cid in np.unique(class_ids):
+            cmask = class_ids == cid
+            for code in np.unique(status_codes[cmask]):
+                mask = cmask & (status_codes == code)
+                key = (class_names[cid], int(code))
+                self._chunks.setdefault(key, []).append(
+                    (
+                        latency[mask],
+                        scores[mask],
+                        difficulties[mask],
+                        attempts[mask],
+                    )
+                )
+
+    def fill(self, collector: MetricsCollector) -> MetricsCollector:
+        """Bulk-fill a :class:`MetricsCollector` from the buffers.
+
+        Chunks are concatenated per (class, status) first so each
+        accumulator sees a handful of large arrays instead of one call
+        per cohort — at a million outcomes the difference is the whole
+        report cost.
+        """
+        overall: dict[int, list[tuple]] = {}
+        for (name, code), chunks in self._chunks.items():
+            merged = tuple(
+                np.concatenate([chunk[j] for chunk in chunks])
+                for j in range(4)
+            )
+            overall.setdefault(code, []).append(merged)
+            self._fill_one(collector.for_class(name), code, merged)
+        for code, parts in overall.items():
+            merged = tuple(
+                np.concatenate([part[j] for part in parts])
+                for j in range(4)
+            )
+            self._fill_one(collector.overall, code, merged)
+        return collector
+
+    @staticmethod
+    def _fill_one(metrics, code: int, merged: tuple) -> None:
+        latency, scores, difficulties, attempts = merged
+        status = _STATUS_CODES[code]
+        metrics.outcomes[status] += int(latency.size)
+        metrics.latencies.extend_array(latency)
+        if status is ResponseStatus.SERVED:
+            metrics.served_latencies.extend_array(latency)
+        metrics.scores.add_array(scores)
+        metrics.difficulties.add_array(difficulties)
+        metrics.attempts.add_array(attempts)
+
+
+def collector_from_buffers(buffers: _OutcomeBuffers) -> MetricsCollector:
+    """A real :class:`MetricsCollector` built from vectorised buffers."""
+    return buffers.fill(MetricsCollector())
+
+
+class FastFeedback:
+    """Array-form behavioural feedback for agent-driven runs.
+
+    The batch port of
+    :class:`~repro.reputation.feedback.FeedbackReputationModel`'s
+    offset table: one offset slot per *agent* (the SoA world has no IP
+    strings), decayed with the same half-life and moved by the same
+    reward step on served exchanges, clamped to the same bounds.
+    Updates are applied per outcome cohort (counts folded in one step),
+    which matches the sequential rule exactly because the clamp is
+    monotone and within-cohort decay is zero.
+
+    The modeled simulator never produces REJECTED/REPLAYED verdicts
+    (sampled solutions always verify), so — as with the callback
+    engine — only the *reward* direction moves: this is exactly the
+    surface a feedback-poisoning adversary farms, and what the
+    ``poison-ramp`` scenario measures.
+    """
+
+    def __init__(self, n_agents: int, config=None) -> None:
+        from repro.reputation.feedback import FeedbackConfig
+
+        self.config = config or FeedbackConfig()
+        self.offset = np.zeros(n_agents, dtype=np.float64)
+        self.updated_at = np.zeros(n_agents, dtype=np.float64)
+
+    def _decay(self, agents: np.ndarray, now: float) -> None:
+        half_life = self.config.half_life
+        if np.isinf(half_life):
+            self.updated_at[agents] = now
+            return
+        elapsed = np.maximum(0.0, now - self.updated_at[agents])
+        self.offset[agents] *= 0.5 ** (elapsed / half_life)
+        self.updated_at[agents] = now
+
+    def offsets_for(self, agents: np.ndarray, now: float) -> np.ndarray:
+        """Current decayed offsets for ``agents`` (read-only)."""
+        self._decay(agents, now)
+        return self.offset[agents]
+
+    def observe_served(self, agents: np.ndarray, now: float) -> None:
+        """Fold one cohort of served exchanges into the offsets."""
+        if agents.size == 0:
+            return
+        uniq, counts = np.unique(agents, return_counts=True)
+        self._decay(uniq, now)
+        self.offset[uniq] = np.maximum(
+            self.offset[uniq] - self.config.reward_step * counts,
+            -self.config.max_reward,
+        )
+
+
+class FastSimulation:
+    """Cohort-vectorized simulation over the calendar-queue scheduler.
+
+    Drives three workload shapes through one engine:
+
+    * :meth:`run` — an open-loop :class:`~repro.traffic.trace.Trace`,
+      API-compatible with :meth:`Simulation.run`;
+    * :meth:`run_fires` — a SoA fire schedule over an
+      :class:`AgentPopulation` (the million-agent path: no request
+      objects anywhere);
+    * :meth:`run_sessions` — closed-loop sessions, API-compatible with
+      :meth:`ClosedLoopSimulation.run`.
+
+    Parameters mirror :class:`~repro.net.sim.simulation.Simulation`;
+    the additions are ``tick`` (cohort quantization grid, ``None`` for
+    exact times) and ``admission`` (``"auto"``/``"framework"``/
+    ``"array"`` — auto picks the object-free array kernel whenever
+    nothing subscribes to admission events and the model's scores are
+    time-invariant).
+    """
+
+    def __init__(
+        self,
+        framework: AIPoWFramework,
+        channel: Channel | None = None,
+        server_model: ServerModel | None = None,
+        seed: int = 1234,
+        pow_enabled: bool = True,
+        solve_deciders: Mapping[str, object] | None = None,
+        hash_rates: Mapping[str, float] | None = None,
+        patiences: Mapping[str, float] | None = None,
+        load_reference: float = 0.1,
+        recorder=None,
+        tick: float | None = None,
+        admission: str = "auto",
+    ) -> None:
+        if load_reference <= 0:
+            raise ValueError(
+                f"load_reference must be > 0, got {load_reference}"
+            )
+        if admission not in ("auto", "framework", "array"):
+            raise ValueError(f"unknown admission mode {admission!r}")
+        if admission == "array" and recorder is not None:
+            raise ValueError(
+                "array admission emits no events, so a recorder would "
+                "capture nothing; use admission='framework' (or 'auto', "
+                "which picks it whenever a recorder is attached)"
+            )
+        self.framework = framework
+        timing = framework.config.timing
+        self.channel = channel or FixedDelayChannel(timing.network_overhead / 4)
+        self.server_model = server_model or ServerModel()
+        self.pow_enabled = pow_enabled
+        self.solve_deciders = dict(solve_deciders or {})
+        self.hash_rates = dict(hash_rates or {})
+        self.patiences = dict(patiences or {})
+        self.load_reference = load_reference
+        self.recorder = recorder
+        self.tick = tick
+        self._admission_request = admission
+        self.default_hash_rate = 1.0 / timing.seconds_per_attempt
+        self.rng = np.random.default_rng(seed)
+        self._pyrng = random.Random(seed ^ 0x5A17)
+        if recorder is not None:
+            recorder.attach(framework.events)
+
+        #: Mirrors of the callback simulators' batching telemetry.
+        self.arrival_batches = 0
+        self.largest_arrival_batch = 0
+        self.events_processed = 0
+        self._reset()
+
+    # Closed-loop spellings of the batching telemetry, mirroring
+    # ``ClosedLoopSimulation``'s attribute names.
+    @property
+    def admission_batches(self) -> int:
+        return self.arrival_batches
+
+    @property
+    def largest_admission_batch(self) -> int:
+        return self.largest_arrival_batch
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _reset(self, observe_load: bool = True) -> None:
+        self._queue = CalendarQueue(tick=self.tick)
+        self._busy_until = 0.0
+        self._now = 0.0
+        self._buffers = _OutcomeBuffers()
+        self._observe_load = observe_load
+        self.arrival_batches = 0
+        self.largest_arrival_batch = 0
+        self.events_processed = 0
+
+    def _admission_mode(self) -> str:
+        # Stateful scorers (behavioural feedback) update from
+        # RESPONSE_SERVED events, which this engine never emits —
+        # their offsets would silently freeze mid-run regardless of
+        # admission mode, so reject loudly (mirroring the timeline
+        # rejection in Simulation.__init__).
+        if self._stateful_scoring():
+            raise ValueError(
+                "the model's scores react to response outcomes, which "
+                "the vectorized engine does not emit; use the callback "
+                "engine, or model feedback with FastFeedback in an "
+                "agent-driven run"
+            )
+        if self._admission_request != "auto":
+            return self._admission_request
+        from repro.core.events import EventKind
+
+        events = self.framework.events
+        listened = any(
+            events.has_subscribers(kind)
+            for kind in (
+                EventKind.REQUEST_RECEIVED,
+                EventKind.SCORED,
+                EventKind.POLICY_APPLIED,
+                EventKind.PUZZLE_ISSUED,
+            )
+        )
+        return "framework" if listened else "array"
+
+    def _stateful_scoring(self) -> bool:
+        """True when any model in the wrapper chain drifts mid-run.
+
+        A stateful scorer (behavioural feedback) may sit *inside* a
+        transparent wrapper (a score cache), and pre-scoring agents
+        once would then silently ignore its mid-run offset changes.
+        """
+        return any(
+            getattr(node, "scoring_is_stateful", False)
+            for node in _walk_model_chain(self.framework.model)
+        )
+
+    def _delays(self, count: int) -> np.ndarray | float:
+        """``count`` one-way delay draws (a scalar for fixed channels).
+
+        The shipped channels expose ``delay_array`` (one numpy draw
+        per cohort); third-party scalar-only channels fall back to a
+        per-draw Python loop — correct, but it reintroduces per-event
+        Python calls, so large-scale runs should use a batch-capable
+        channel.
+        """
+        if isinstance(self.channel, FixedDelayChannel):
+            return self.channel.delay
+        batch = getattr(self.channel, "delay_array", None)
+        if batch is not None:
+            return np.asarray(batch(self.rng, count), dtype=np.float64)
+        return np.fromiter(
+            (
+                self.channel.one_way_delay(self._pyrng)
+                for _ in range(count)
+            ),
+            dtype=np.float64,
+            count=count,
+        )
+
+    def _fifo(self, at: float, costs: np.ndarray | float, count: int) -> np.ndarray:
+        """FIFO completion times for ``count`` arrivals at ``at``.
+
+        Vectorised form of the callback engines' ``_server_complete``
+        recurrence: every item starts at ``max(arrival, busy)`` and the
+        backlog only ever grows within a same-instant cohort.  In
+        open-loop runs it feeds the backlog signal to a load-adaptive
+        policy exactly once per request, like ``Simulation``'s scalar
+        path (the callback closed-loop server model has no load
+        signal, so closed-loop runs skip it there too).
+
+        Computed as one running sum seeded with the cohort's start
+        time — the same left-associated additions the scalar
+        recurrence performs — so completion times are bit-identical to
+        the callback engine, not merely ULP-close (they feed the load
+        signal and the TTL-expiry comparison, where one ULP can flip a
+        decision).
+        """
+        start = max(at, self._busy_until)
+        seeded = np.empty(count + 1)
+        seeded[0] = start
+        seeded[1:] = costs
+        dones = np.cumsum(seeded)[1:]
+        policy = self.framework.policy
+        if self._observe_load and isinstance(policy, LoadAdaptivePolicy):
+            busy_before = np.empty(count)
+            busy_before[0] = self._busy_until
+            busy_before[1:] = dones[:-1]
+            backlogs = np.maximum(0.0, busy_before - at) / self.load_reference
+            for value in backlogs:
+                policy.observe_load(float(value))
+        self._busy_until = float(dones[-1])
+        return dones
+
+    def _solve_schedule(
+        self,
+        agents: np.ndarray,
+        cpu_free: np.ndarray,
+        receipt: np.ndarray,
+        seconds: np.ndarray,
+        patience: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-address CPU serialisation with patience abandonment.
+
+        Returns ``(solve_end, abandoned)``.  An abandoning client's CPU
+        frees at ``receipt + patience`` (it ground until giving up),
+        matching the callback engine.  Agents appearing more than once
+        in a cohort fall back to a sequential recurrence for exactly
+        the duplicated positions, preserving FIFO CPU hand-off.
+        """
+        start = np.maximum(receipt, cpu_free[agents])
+        solve_end = start + seconds
+        abandoned = (solve_end - receipt) > patience
+        give_up = receipt + patience
+        release = np.where(abandoned, give_up, solve_end)
+        uniq, inverse, counts = np.unique(
+            agents, return_inverse=True, return_counts=True
+        )
+        if uniq.size == agents.size:
+            cpu_free[agents] = release
+            return solve_end, abandoned
+        single = counts[inverse] == 1
+        cpu_free[agents[single]] = release[single]
+        for i in np.nonzero(~single)[0].tolist():
+            agent = agents[i]
+            s = max(receipt[i], cpu_free[agent])
+            e = s + seconds[i]
+            if (e - receipt[i]) > patience[i]:
+                abandoned[i] = True
+                cpu_free[agent] = receipt[i] + patience[i]
+            else:
+                abandoned[i] = False
+                solve_end[i] = e
+                cpu_free[agent] = e
+        return solve_end, abandoned
+
+    def _admit_framework(
+        self, requests, now
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Framework-mode cohort admission: ``(scores, difficulties)``.
+
+        One :meth:`AIPoWFramework.challenge_batch` call (full
+        per-request events for recorders) with the decisions pulled
+        back into arrays — the single extraction point for every
+        framework-admission branch.
+        """
+        challenges = self.framework.challenge_batch(requests, now=now)
+        scores = np.array(
+            [c.decision.reputation_score for c in challenges]
+        )
+        difficulties = np.array(
+            [c.decision.difficulty for c in challenges], dtype=np.float64
+        )
+        return scores, difficulties
+
+    def _decide_solve(
+        self,
+        class_names: Sequence[str],
+        class_ids: np.ndarray,
+        difficulties: np.ndarray,
+    ) -> np.ndarray:
+        """Per-profile solve/refuse decisions, batch where possible."""
+        from repro.attacks.base import decide_batch
+
+        solve = np.ones(difficulties.size, dtype=bool)
+        if not self.solve_deciders:
+            return solve
+        for cid in np.unique(class_ids):
+            decider = self.solve_deciders.get(class_names[cid])
+            if decider is None:
+                continue
+            mask = class_ids == cid
+            solve[mask] = decide_batch(decider, difficulties[mask])
+        return solve
+
+    def _mask_until(
+        self, until: float | None, finish: np.ndarray, *arrays: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Drop terminals past ``until`` (their events would not fire)."""
+        if until is None:
+            return (finish, *arrays)
+        keep = finish <= until
+        return (finish[keep], *(a[keep] for a in arrays))
+
+    def _touch(self, *times) -> None:
+        for value in times:
+            if np.isscalar(value):
+                if value > self._now:
+                    self._now = float(value)
+            elif getattr(value, "size", 0):
+                peak = float(np.max(value))
+                if peak > self._now:
+                    self._now = peak
+
+    # ------------------------------------------------------------------
+    # Open-loop: traces and fire schedules
+    # ------------------------------------------------------------------
+    def run(self, trace, until: float | None = None) -> SimulationReport:
+        """Replay an open-loop trace; drop-in for ``Simulation.run``."""
+        entries = list(trace)
+        class_names: list[str] = []
+        class_index: dict[str, int] = {}
+        agent_index: dict[str, int] = {}
+        n = len(entries)
+        ts = np.empty(n)
+        class_ids = np.empty(n, dtype=np.int32)
+        agent_ids = np.empty(n, dtype=np.int64)
+        for i, entry in enumerate(entries):
+            ts[i] = entry.request.timestamp
+            cid = class_index.setdefault(entry.profile, len(class_names))
+            if cid == len(class_names):
+                class_names.append(entry.profile)
+            class_ids[i] = cid
+            agent_ids[i] = agent_index.setdefault(
+                entry.request.client_ip, len(agent_index)
+            )
+            if self.recorder is not None:
+                self.recorder.register_source(
+                    entry.request.client_ip, entry.profile, entry.true_score
+                )
+
+        mode = self._admission_mode()
+        scores = None
+        if mode == "array" and n:
+            from repro.reputation.base import model_score_requests
+
+            scores = model_score_requests(
+                self.framework.model, [e.request for e in entries]
+            )
+
+        requests_of = (
+            None
+            if mode == "array"
+            else (lambda idx: [entries[i].request for i in idx.tolist()])
+        )
+        return self._run_open_loop(
+            ts=ts,
+            class_names=class_names,
+            class_ids=class_ids,
+            agent_ids=agent_ids,
+            n_agents=len(agent_index),
+            scores=scores,
+            requests_of=requests_of,
+            until=until,
+        )
+
+    def run_fires(
+        self,
+        population: AgentPopulation,
+        fire_times: np.ndarray,
+        fire_agents: np.ndarray,
+        until: float | None = None,
+        feedback: FastFeedback | None = None,
+    ) -> SimulationReport:
+        """Drive a SoA fire schedule — the million-agent hot path.
+
+        Agents are scored once (features are fixed at mint time);
+        per-fire admission is a gather plus the policy's array kernel.
+        ``feedback`` threads a :class:`FastFeedback` offset table into
+        scoring and outcome observation.
+        """
+        fire_agents = np.asarray(fire_agents, dtype=np.int64)
+        fire_times = np.asarray(fire_times, dtype=np.float64)
+        mode = self._admission_mode()
+        if feedback is not None and mode != "array":
+            raise ValueError(
+                "FastFeedback offsets only enter scoring on the array "
+                "admission path; this run resolved to framework "
+                "admission (recorder/subscribers attached), where the "
+                "offsets would update but never influence a decision"
+            )
+        base_scores = None
+        if mode == "array":
+            schema = _scoring_schema(self.framework.model)
+            if schema.names != population.schema.names:
+                raise ValueError(
+                    "population schema does not match the scoring "
+                    f"model's: {population.schema.names} vs "
+                    f"{schema.names}"
+                )
+            base_scores = population.score_with(
+                _innermost_batch_scorer(self.framework.model)
+            )
+        class_ids = population.profile_id[fire_agents].astype(np.int32)
+        per_fire_scores = None
+        if base_scores is not None and feedback is None:
+            per_fire_scores = base_scores[fire_agents]
+
+        def score_hook(idx: np.ndarray, at: float) -> np.ndarray:
+            gathered = base_scores[fire_agents[idx]]
+            if feedback is None:
+                return gathered
+            offsets = feedback.offsets_for(fire_agents[idx], at)
+            return np.clip(gathered + offsets, 0.0, 10.0)
+
+        requests_of = None
+        if mode == "framework":
+            from repro.core.records import ClientRequest
+
+            names = population.schema.names
+            rows = population.features
+            if self.recorder is not None:
+                # Recorder runs are object-world by construction
+                # (framework admission), so materialising every
+                # agent's address for source metadata is in budget.
+                profile_names = population.profile_names
+                true = population.true_scores
+                for agent, ip in enumerate(population.ip_strings()):
+                    self.recorder.register_source(
+                        ip,
+                        profile_names[population.profile_id[agent]],
+                        float(true[agent]),
+                    )
+
+            def requests_of(idx: np.ndarray):  # noqa: F811 - mode-specific
+                agents = fire_agents[idx]
+                ips = population.ip_strings(agents)
+                return [
+                    ClientRequest(
+                        client_ip=ip,
+                        resource="/index.html",
+                        timestamp=float(fire_times[i]),
+                        features=dict(
+                            zip(names, rows[agent].tolist())
+                        ),
+                    )
+                    for i, agent, ip in zip(idx.tolist(), agents.tolist(), ips)
+                ]
+
+        return self._run_open_loop(
+            ts=fire_times,
+            class_names=list(population.profile_names),
+            class_ids=class_ids,
+            agent_ids=fire_agents,
+            n_agents=len(population),
+            scores=per_fire_scores,
+            score_hook=None if per_fire_scores is not None or mode != "array" else score_hook,
+            requests_of=requests_of,
+            until=until,
+            feedback=feedback,
+        )
+
+    def _run_open_loop(
+        self,
+        *,
+        ts: np.ndarray,
+        class_names: Sequence[str],
+        class_ids: np.ndarray,
+        agent_ids: np.ndarray,
+        n_agents: int,
+        scores: np.ndarray | None,
+        requests_of,
+        until: float | None,
+        score_hook=None,
+        feedback: FastFeedback | None = None,
+    ) -> SimulationReport:
+        """The shared open-loop engine behind :meth:`run`/:meth:`run_fires`."""
+        self._reset()
+        n = int(ts.size)
+        model = self.server_model
+        ttl = self.framework.config.pow.ttl
+        cpu_free = np.zeros(n_agents)
+        hash_rate = self._per_class(class_names, self.hash_rates, self.default_hash_rate)
+        patience = self._per_class(class_names, self.patiences, 30.0)
+
+        # Arrival times: one channel crossing per submitted request.
+        # _push_grouped stable-sorts them, so equal-instant arrivals
+        # keep trace order — the exact cohorts the callback engine's
+        # arrival batching forms.
+        if n:
+            self._push_grouped(
+                ts + self._delays(n),
+                "arrive",
+                (np.arange(n, dtype=np.int64),),
+            )
+
+        get_scores = score_hook
+        if get_scores is None and scores is not None:
+            get_scores = lambda idx, at: scores[idx]  # noqa: E731
+
+        while self._queue:
+            peek = self._queue.peek_time()
+            if until is not None and peek > until:
+                break
+            when, segments = self._queue.pop_cohort()
+            self._touch(when)
+            for kind, payload in _merge_segments(segments):
+                if kind == "arrive":
+                    self._process_arrivals(
+                        when,
+                        payload,
+                        ts=ts,
+                        class_names=class_names,
+                        class_ids=class_ids,
+                        agent_ids=agent_ids,
+                        cpu_free=cpu_free,
+                        hash_rate=hash_rate,
+                        patience=patience,
+                        get_scores=get_scores,
+                        requests_of=requests_of,
+                        until=until,
+                    )
+                else:  # solution
+                    self._process_solutions(
+                        when,
+                        payload,
+                        ts=ts,
+                        class_ids=class_ids,
+                        class_names=class_names,
+                        agent_ids=agent_ids,
+                        ttl=ttl,
+                        model=model,
+                        until=until,
+                        feedback=feedback,
+                    )
+
+        duration = until if until is not None else self._now
+        return SimulationReport(
+            metrics=collector_from_buffers(self._buffers),
+            duration=duration,
+            requests=n,
+            events_processed=self.events_processed,
+        )
+
+    def _process_arrivals(
+        self,
+        when: float,
+        idx: np.ndarray,
+        *,
+        ts: np.ndarray,
+        class_names: Sequence[str],
+        class_ids: np.ndarray,
+        agent_ids: np.ndarray,
+        cpu_free: np.ndarray,
+        hash_rate: np.ndarray,
+        patience: np.ndarray,
+        get_scores,
+        requests_of,
+        until: float | None,
+    ) -> None:
+        k = int(idx.size)
+        self.arrival_batches += 1
+        self.largest_arrival_batch = max(self.largest_arrival_batch, k)
+        self.events_processed += k + 1  # arrivals + the drain
+        cids = class_ids[idx]
+        model = self.server_model
+
+        # Decision order matters for stateful (load-adaptive) policies:
+        # the callback engine charges the cohort's FIFO costs — which
+        # feed the policy's load signal — *before* the batch admission,
+        # so the array kernel must too, or the two engines' decision
+        # streams drift apart.
+        if not self.pow_enabled:
+            dones = self._fifo(when, model.resource_cost, k)
+            if get_scores is not None:
+                cohort_scores = get_scores(idx, when)
+                difficulties = self.framework.difficulties_for_scores(
+                    cohort_scores
+                ).astype(np.float64)
+            else:
+                cohort_scores, difficulties = self._admit_framework(
+                    requests_of(idx), now=when
+                )
+            finish = dones + self._delays(k)
+            self.events_processed += k
+            out = self._mask_until(
+                until, finish, cids, cohort_scores, difficulties, ts[idx]
+            )
+            finish, cids_m, scores_m, diffs_m, ts_m = out
+            self._touch(finish)
+            self._buffers.record(
+                class_names,
+                cids_m,
+                ResponseStatus.SERVED,
+                np.maximum(0.0, finish - ts_m),
+                scores_m,
+                diffs_m,
+                np.zeros(finish.size),
+            )
+            return
+
+        issue = self._fifo(when, model.challenge_cost, k)
+        if get_scores is not None:
+            cohort_scores = get_scores(idx, when)
+            difficulties = self.framework.difficulties_for_scores(
+                cohort_scores
+            ).astype(np.float64)
+        else:
+            cohort_scores, difficulties = self._admit_framework(
+                requests_of(idx), now=[float(t) for t in issue]
+            )
+
+        receipt = issue + self._delays(k)
+        self.events_processed += k  # puzzle deliveries
+        solve = self._decide_solve(class_names, cids, difficulties)
+
+        refused = ~solve
+        if refused.any():
+            out = self._mask_until(
+                until,
+                receipt[refused],
+                cids[refused],
+                cohort_scores[refused],
+                difficulties[refused],
+                ts[idx][refused],
+            )
+            finish, cids_m, scores_m, diffs_m, ts_m = out
+            self._touch(finish)
+            self._buffers.record(
+                class_names,
+                cids_m,
+                ResponseStatus.ABANDONED,
+                np.maximum(0.0, finish - ts_m),
+                scores_m,
+                diffs_m,
+                np.zeros(finish.size),
+            )
+
+        if not solve.any():
+            return
+        s_idx = idx[solve]
+        s_receipt = receipt[solve]
+        s_diff = difficulties[solve]
+        s_scores = cohort_scores[solve]
+        s_cids = cids[solve]
+        attempts = sample_attempts_array(s_diff, self.rng)
+        seconds = attempts / hash_rate[s_cids]
+        solve_end, abandoned = self._solve_schedule(
+            agent_ids[s_idx], cpu_free, s_receipt, seconds, patience[s_cids]
+        )
+
+        if abandoned.any():
+            give_up = s_receipt[abandoned] + patience[s_cids][abandoned]
+            out = self._mask_until(
+                until,
+                give_up,
+                s_cids[abandoned],
+                s_scores[abandoned],
+                s_diff[abandoned],
+                ts[s_idx][abandoned],
+                attempts[abandoned],
+            )
+            finish, cids_m, scores_m, diffs_m, ts_m, attempts_m = out
+            self._touch(finish)
+            self._buffers.record(
+                class_names,
+                cids_m,
+                ResponseStatus.ABANDONED,
+                np.maximum(0.0, finish - ts_m),
+                scores_m,
+                diffs_m,
+                attempts_m,
+            )
+
+        solving = ~abandoned
+        if not solving.any():
+            return
+        submit = solve_end[solving] + self._delays(int(solving.sum()))
+        payload = (
+            s_idx[solving],
+            issue[solve][solving],
+            attempts[solving],
+            s_diff[solving],
+            s_scores[solving],
+        )
+        self._push_grouped(submit, "solve", payload)
+
+    def _process_solutions(
+        self,
+        when: float,
+        payload: tuple,
+        *,
+        ts: np.ndarray,
+        class_ids: np.ndarray,
+        class_names: Sequence[str],
+        agent_ids: np.ndarray,
+        ttl: float,
+        model: ServerModel,
+        until: float | None,
+        feedback: FastFeedback | None,
+    ) -> None:
+        idx, issued_at, attempts, difficulties, scores = payload
+        k = int(idx.size)
+        self.events_processed += k
+        expired = (when - issued_at) > ttl
+        costs = model.verify_cost + np.where(
+            expired, 0.0, model.resource_cost
+        )
+        dones = self._fifo(when, costs, k)
+        finish = dones + self._delays(k)
+        self.events_processed += k  # terminal responses
+        status_codes = np.where(
+            expired,
+            _STATUS_CODES.index(ResponseStatus.EXPIRED),
+            _SERVED,
+        ).astype(np.int8)
+        cids = class_ids[idx]
+        out = self._mask_until(
+            until,
+            finish,
+            cids,
+            scores,
+            difficulties,
+            ts[idx],
+            attempts,
+            status_codes,
+            agent_ids[idx],
+        )
+        finish, cids_m, scores_m, diffs_m, ts_m, attempts_m, codes_m, agents_m = out
+        self._touch(finish)
+        self._buffers.record(
+            class_names,
+            cids_m,
+            codes_m,
+            np.maximum(0.0, finish - ts_m),
+            scores_m,
+            diffs_m,
+            attempts_m,
+        )
+        if feedback is not None:
+            feedback.observe_served(agents_m[codes_m == _SERVED], when)
+
+    # ------------------------------------------------------------------
+    # Closed loop
+    # ------------------------------------------------------------------
+    def run_sessions(self, sessions, until: float | None = None):
+        """Drive closed-loop sessions; drop-in for ``ClosedLoopSimulation.run``."""
+        from repro.net.sim.closedloop import ClosedLoopReport
+
+        sessions = list(sessions)
+        if not sessions:
+            raise ValueError("need at least one session")
+        # The callback closed-loop server model has no load signal, so
+        # the fast engine must not feed one either.
+        self._reset(observe_load=False)
+        m = len(sessions)
+        class_names: list[str] = []
+        class_index: dict[str, int] = {}
+        cids = np.empty(m, dtype=np.int32)
+        start = np.empty(m)
+        think = np.empty(m)
+        exchanges = np.empty(m, dtype=np.int64)
+        rate = np.empty(m)
+        patience = np.empty(m)
+        for i, session in enumerate(sessions):
+            profile = session.client.profile
+            cid = class_index.setdefault(profile.name, len(class_names))
+            if cid == len(class_names):
+                class_names.append(profile.name)
+            cids[i] = cid
+            start[i] = session.start
+            think[i] = session.think_time
+            exchanges[i] = session.exchanges
+            rate[i] = self.hash_rates.get(profile.name, profile.hash_rate)
+            patience[i] = profile.patience
+            if self.recorder is not None:
+                self.recorder.register_source(
+                    session.client.ip,
+                    profile.name,
+                    session.client.true_score,
+                )
+
+        mode = self._admission_mode()
+        scores = None
+        requests = None
+        if mode == "array":
+            # The schema must be the *scoring* model's — a transparent
+            # wrapper (score cache) declares none, and falling back to
+            # the default would vectorize features in the wrong column
+            # order for a custom-schema model.
+            scorer = _innermost_batch_scorer(self.framework.model)
+            schema = _scoring_schema(self.framework.model)
+            matrix = schema.vectorize_batch(
+                [s.client.features for s in sessions]
+            )
+            scores = np.asarray(
+                scorer.score_batch(matrix), dtype=np.float64
+            )
+        else:
+            from repro.core.records import ClientRequest
+
+            def requests(idx: np.ndarray, begin_ts: np.ndarray):
+                return [
+                    ClientRequest(
+                        client_ip=sessions[i].client.ip,
+                        resource="/session",
+                        timestamp=float(t),
+                        features=sessions[i].client.features,
+                    )
+                    for i, t in zip(idx.tolist(), begin_ts.tolist())
+                ]
+
+        completed = 0
+        model = self.server_model
+
+        # First exchange of every session.
+        begin = start.copy()
+        arrive = begin + self._delays(m)
+        remaining = exchanges.copy()
+        self._push_grouped(
+            arrive,
+            "cl_arrive",
+            (np.arange(m, dtype=np.int64), begin, remaining),
+        )
+
+        while self._queue:
+            peek = self._queue.peek_time()
+            if until is not None and peek > until:
+                break
+            when, segments = self._queue.pop_cohort()
+            self._touch(when)
+            for kind, payload in _merge_segments(segments):
+                if kind == "cl_arrive":
+                    idx, begin_ts, rem = payload
+                    k = int(idx.size)
+                    self.arrival_batches += 1
+                    self.largest_arrival_batch = max(
+                        self.largest_arrival_batch, k
+                    )
+                    self.events_processed += k + 1
+                    issue = self._fifo(when, model.challenge_cost, k)
+                    if scores is not None:
+                        cohort_scores = scores[idx]
+                        difficulties = self.framework.difficulties_for_scores(
+                            cohort_scores
+                        ).astype(np.float64)
+                    else:
+                        cohort_scores, difficulties = self._admit_framework(
+                            requests(idx, begin_ts),
+                            now=[float(t) for t in issue],
+                        )
+                    receipt = issue + self._delays(k)
+                    self.events_processed += k
+                    attempts = sample_attempts_array(difficulties, self.rng)
+                    seconds = attempts / rate[idx]
+                    # Closed-loop clients abandon on expected grind time
+                    # alone (their CPU is otherwise idle): sample
+                    # exceeding patience ends the exchange at
+                    # receipt + patience.
+                    abandoned = seconds > patience[idx]
+                    if abandoned.any():
+                        finish = receipt[abandoned] + patience[idx][abandoned]
+                        completed += self._finish_sessions(
+                            when,
+                            class_names,
+                            cids,
+                            idx[abandoned],
+                            begin_ts[abandoned],
+                            rem[abandoned],
+                            ResponseStatus.ABANDONED,
+                            finish,
+                            cohort_scores[abandoned],
+                            difficulties[abandoned],
+                            attempts[abandoned],
+                            think,
+                            until,
+                        )
+                    solving = ~abandoned
+                    if solving.any():
+                        submit = (
+                            receipt[solving]
+                            + seconds[solving]
+                            + self._delays(int(solving.sum()))
+                        )
+                        self._push_grouped(
+                            submit,
+                            "cl_redeem",
+                            (
+                                idx[solving],
+                                begin_ts[solving],
+                                rem[solving],
+                                attempts[solving],
+                                cohort_scores[solving],
+                                difficulties[solving],
+                            ),
+                        )
+                else:  # cl_redeem
+                    idx, begin_ts, rem, attempts, cohort_scores, difficulties = payload
+                    k = int(idx.size)
+                    self.events_processed += k
+                    dones = self._fifo(
+                        when,
+                        model.verify_cost + model.resource_cost,
+                        k,
+                    )
+                    finish = dones + self._delays(k)
+                    completed += self._finish_sessions(
+                        when,
+                        class_names,
+                        cids,
+                        idx,
+                        begin_ts,
+                        rem,
+                        ResponseStatus.SERVED,
+                        finish,
+                        cohort_scores,
+                        difficulties,
+                        attempts,
+                        think,
+                        until,
+                    )
+
+        duration = until if until is not None else self._now
+        return ClosedLoopReport(
+            metrics=collector_from_buffers(self._buffers),
+            duration=duration,
+            sessions=m,
+            completed_exchanges=completed,
+        )
+
+    def _finish_sessions(
+        self,
+        when: float,
+        class_names: Sequence[str],
+        cids: np.ndarray,
+        idx: np.ndarray,
+        begin_ts: np.ndarray,
+        rem: np.ndarray,
+        status: ResponseStatus,
+        finish: np.ndarray,
+        scores: np.ndarray,
+        difficulties: np.ndarray,
+        attempts: np.ndarray,
+        think: np.ndarray,
+        until: float | None,
+    ) -> int:
+        out = self._mask_until(
+            until, finish, idx, begin_ts, rem, scores, difficulties, attempts
+        )
+        finish, idx, begin_ts, rem, scores, difficulties, attempts = out
+        self._touch(finish)
+        self.events_processed += int(finish.size)
+        self._buffers.record(
+            class_names,
+            cids[idx],
+            status,
+            np.maximum(0.0, finish - begin_ts),
+            scores,
+            difficulties,
+            attempts,
+        )
+        again = rem - 1 > 0
+        if again.any():
+            pauses = np.where(
+                think[idx[again]] > 0,
+                self.rng.exponential(np.maximum(think[idx[again]], 1e-300)),
+                0.0,
+            )
+            next_begin = finish[again] + pauses
+            arrive = next_begin + self._delays(int(again.sum()))
+            self._push_grouped(
+                arrive,
+                "cl_arrive",
+                (idx[again], next_begin, rem[again] - 1),
+            )
+        return int(finish.size)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _push_grouped(
+        self, times: np.ndarray, kind: str, payload: tuple
+    ) -> None:
+        """Push payload columns grouped into per-bucket segments.
+
+        Grouping uses integer bucket *indices* (``ceil(t / tick)``) but
+        each segment is pushed at its earliest member's raw time —
+        quantization onto the grid happens exactly once, inside
+        :class:`CalendarQueue`, so events are never bumped a second
+        tick by re-quantizing an already-on-grid value.
+        """
+        if times.size == 0:
+            return
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        payload = tuple(column[order] for column in payload)
+        if self.tick is None:
+            keyed = times
+        else:
+            keyed = np.ceil(times / self.tick)
+        boundaries = np.nonzero(np.diff(keyed))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [times.size]])
+        if kind == "solve" or kind.startswith("cl_"):
+            for lo, hi in zip(starts, ends):
+                self._queue.push(
+                    float(times[lo]),
+                    (kind, tuple(col[lo:hi] for col in payload)),
+                )
+        else:
+            for lo, hi in zip(starts, ends):
+                self._queue.push(float(times[lo]), (kind, payload[0][lo:hi]))
+
+    @staticmethod
+    def _per_class(
+        class_names: Sequence[str],
+        overrides: Mapping[str, float],
+        default: float,
+    ) -> np.ndarray:
+        return np.array(
+            [float(overrides.get(name, default)) for name in class_names]
+        )
+
+
+def _merge_segments(segments: list) -> list:
+    """Concatenate adjacent same-kind segments of one cohort.
+
+    Segments pop in push order (the heap's seq order); merging only
+    *adjacent* runs keeps that order — arrivals still precede
+    same-instant solutions pushed later, and vice versa.
+    """
+    merged: list = []
+    for kind, payload in segments:
+        if merged and merged[-1][0] == kind:
+            prev = merged[-1][1]
+            if isinstance(prev, tuple):
+                merged[-1] = (
+                    kind,
+                    tuple(
+                        np.concatenate([a, b])
+                        for a, b in zip(prev, payload)
+                    ),
+                )
+            else:
+                merged[-1] = (kind, np.concatenate([prev, payload]))
+        else:
+            merged.append((kind, payload))
+    return merged
+
+
+def _walk_model_chain(model):
+    """Yield ``model`` and each wrapped model, outermost first.
+
+    The one traversal rule for model wrapper chains (``.base`` for
+    feedback wrappers, ``.inner`` for caches), cycle-guarded.  Every
+    chain inspection in this module goes through it so the rule cannot
+    drift between them.
+    """
+    node, seen = model, set()
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        yield node
+        node = getattr(node, "base", None) or getattr(node, "inner", None)
+
+
+def _scoring_schema(model):
+    """The feature schema of the model that actually scores.
+
+    Transparent wrappers (score caches) declare no ``schema`` but may
+    still be the node providing ``score_batch``, so schema and scorer
+    must be resolved independently.
+    """
+    for node in _walk_model_chain(model):
+        schema = getattr(node, "schema", None)
+        if schema is not None:
+            return schema
+    from repro.reputation.features import DEFAULT_SCHEMA
+
+    return DEFAULT_SCHEMA
+
+
+def _innermost_batch_scorer(model):
+    """Unwrap score-transparent wrappers down to a ``score_batch`` model.
+
+    A :class:`~repro.reputation.caching.CachedModel` returns the same
+    values as its base (the cache changes cost, not scores), so the
+    array path scores through the base directly.  Stateful wrappers
+    (behavioural feedback) advertise ``scoring_is_stateful`` and are
+    rejected by the engine before this is ever called.
+    """
+    for node in _walk_model_chain(model):
+        if hasattr(node, "score_batch"):
+            return node
+    raise TypeError(
+        f"model {type(model).__name__} exposes no score_batch anywhere "
+        "in its wrapper chain; use framework admission"
+    )

@@ -1,0 +1,204 @@
+"""Vectorized fire schedules for large-scale scenarios.
+
+A *fire schedule* is the SoA form of an open-loop workload: two
+parallel arrays ``(times, agents)`` meaning "agent ``agents[i]`` sends
+one request at ``times[i]``".  The builders here are the numpy
+counterparts of :mod:`repro.traffic.arrivals` — same processes
+(Poisson, on/off pulses, ramps) plus the shapes the million-agent
+scenarios need (synchronized flash waves, diurnal rate curves).
+
+All builders return schedules sorted by time (stable, so equal-time
+fires keep agent order) and are deterministic per generator state.
+
+Poisson schedules use the conditional-uniform construction: the number
+of arrivals in a window is Poisson(rate x window), and given the count
+the arrival instants are i.i.d. uniform over the window — which
+vectorises to two numpy draws instead of a per-event exponential walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FireSchedule",
+    "flash_waves",
+    "poisson_fires",
+    "pulse_fires",
+    "rate_curve_fires",
+    "diurnal_fires",
+    "ramp_fires",
+    "merge_schedules",
+]
+
+#: ``(times, agents)`` parallel arrays, time-sorted.
+FireSchedule = tuple[np.ndarray, np.ndarray]
+
+
+def _sorted(times: np.ndarray, agents: np.ndarray) -> FireSchedule:
+    order = np.argsort(times, kind="stable")
+    return times[order], agents[order]
+
+
+def flash_waves(
+    agents: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+    waves: int = 1,
+    wave_gap: float = 1.0,
+    jitter: float = 0.05,
+) -> FireSchedule:
+    """Synchronized stampede: every agent fires once per wave.
+
+    Each wave ``w`` is centred at ``start + w * wave_gap``; individual
+    fires land uniformly within ``[wave, wave + jitter]`` — a flash
+    crowd is near-simultaneous, not instantaneous.  ``jitter=0`` makes
+    the wave a single simulated instant.
+    """
+    if waves < 1:
+        raise ValueError(f"waves must be >= 1, got {waves}")
+    if wave_gap < 0 or jitter < 0:
+        raise ValueError("wave_gap and jitter must be >= 0")
+    agents = np.asarray(agents, dtype=np.int64)
+    blocks_t, blocks_a = [], []
+    for wave in range(waves):
+        base = start + wave * wave_gap
+        offsets = (
+            rng.uniform(0.0, jitter, agents.size) if jitter > 0 else 0.0
+        )
+        blocks_t.append(np.full(agents.size, base) + offsets)
+        blocks_a.append(agents)
+    return _sorted(np.concatenate(blocks_t), np.concatenate(blocks_a))
+
+
+def poisson_fires(
+    agents: np.ndarray,
+    rates: np.ndarray,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+) -> FireSchedule:
+    """Independent Poisson processes, one per agent, at ``rates[i]``."""
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    agents = np.asarray(agents, dtype=np.int64)
+    rates = np.broadcast_to(np.asarray(rates, dtype=np.float64), agents.shape)
+    counts = rng.poisson(rates * duration)
+    total = int(counts.sum())
+    times = rng.uniform(start, start + duration, total)
+    owners = np.repeat(agents, counts)
+    return _sorted(times, owners)
+
+
+def pulse_fires(
+    agents: np.ndarray,
+    rates: np.ndarray,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+    on_seconds: float = 1.0,
+    off_seconds: float = 4.0,
+) -> FireSchedule:
+    """Pulsing on/off waves: Poisson at ``rates`` during ON windows.
+
+    The vectorized sibling of
+    :func:`repro.traffic.arrivals.onoff_arrivals`: windows alternate
+    deterministically, arrivals within an ON window are Poisson.
+    """
+    if on_seconds <= 0 or off_seconds < 0:
+        raise ValueError("on_seconds must be > 0 and off_seconds >= 0")
+    blocks_t, blocks_a = [], []
+    window_start = start
+    end = start + duration
+    while window_start < end:
+        window = min(on_seconds, end - window_start)
+        t, a = poisson_fires(
+            agents, rates, window, rng, start=window_start
+        )
+        blocks_t.append(t)
+        blocks_a.append(a)
+        window_start += on_seconds + off_seconds
+    return _sorted(np.concatenate(blocks_t), np.concatenate(blocks_a))
+
+
+def rate_curve_fires(
+    agents: np.ndarray,
+    peak_rates: np.ndarray,
+    duration: float,
+    rng: np.random.Generator,
+    shape,
+    *,
+    start: float = 0.0,
+) -> FireSchedule:
+    """Inhomogeneous Poisson by thinning a peak-rate process.
+
+    ``shape(t)`` maps elapsed time (array, in ``[0, duration]``) to an
+    acceptance probability in [0, 1]; fires survive with that
+    probability — the standard thinning construction, vectorised.
+    """
+    times, owners = poisson_fires(
+        agents, peak_rates, duration, rng, start=start
+    )
+    accept = np.asarray(shape(times - start), dtype=np.float64)
+    keep = rng.random(times.size) < accept
+    return times[keep], owners[keep]
+
+
+def diurnal_fires(
+    agents: np.ndarray,
+    peak_rates: np.ndarray,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+    period: float | None = None,
+    trough: float = 0.15,
+) -> FireSchedule:
+    """Day/night rate curve: sinusoid between ``trough`` and 1.0.
+
+    ``period`` defaults to the full duration (one day compressed into
+    the run); ``trough`` is the night-time fraction of the peak rate.
+    """
+    if not 0.0 <= trough <= 1.0:
+        raise ValueError(f"trough must be in [0, 1], got {trough}")
+    cycle = duration if period is None else period
+
+    def shape(t: np.ndarray) -> np.ndarray:
+        phase = 0.5 - 0.5 * np.cos(2.0 * np.pi * t / cycle)
+        return trough + (1.0 - trough) * phase
+
+    return rate_curve_fires(
+        agents, peak_rates, duration, rng, shape, start=start
+    )
+
+
+def ramp_fires(
+    agents: np.ndarray,
+    peak_rates: np.ndarray,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+) -> FireSchedule:
+    """Linear 0 → peak ramp (attack onset), by thinning."""
+    return rate_curve_fires(
+        agents,
+        peak_rates,
+        duration,
+        rng,
+        lambda t: t / duration,
+        start=start,
+    )
+
+
+def merge_schedules(*schedules: FireSchedule) -> FireSchedule:
+    """Interleave several fire schedules into one time-sorted stream."""
+    live = [s for s in schedules if s[0].size]
+    if not live:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    times = np.concatenate([s[0] for s in live])
+    agents = np.concatenate([s[1] for s in live])
+    return _sorted(times, agents)

@@ -140,6 +140,20 @@ class Simulation:
         framework's event bus; submitted trace entries register their
         profile and ground-truth score with it, so the recorded v2
         trace carries the same metadata as the input workload.
+    engine:
+        ``"callback"`` (default) runs the reference
+        :class:`EventEngine` loop; ``"fast"`` delegates the whole run
+        to the vectorized cohort core
+        (:class:`~repro.net.sim.fastsim.FastSimulation`) behind this
+        same API.  Decision streams are bit-identical between the two
+        (except load-adaptive policies under solving traffic, whose
+        decisions depend on queue timing and so inherit the timing
+        stream's seed-sensitivity); timing randomness is drawn from a
+        different (numpy) stream, so latency samples agree
+        statistically rather than bit for bit.
+        The callback engine remains the reference implementation and
+        is required for ``timeline`` collection (it emits per-response
+        events).
     """
 
     def __init__(
@@ -155,10 +169,20 @@ class Simulation:
         timeline: TimelineCollector | None = None,
         load_reference: float = 0.1,
         recorder=None,
+        engine: str = "callback",
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
                 f"load_reference must be > 0, got {load_reference}"
+            )
+        if engine not in ("callback", "fast"):
+            raise ValueError(
+                f"engine must be 'callback' or 'fast', got {engine!r}"
+            )
+        if engine == "fast" and timeline is not None:
+            raise ValueError(
+                "timeline collection needs the callback engine "
+                "(per-response events); use engine='callback'"
             )
         self.framework = framework
         timing = framework.config.timing
@@ -166,6 +190,7 @@ class Simulation:
         self.server_model = server_model or ServerModel()
         self.solve_time = SolveTimeModel(timing)
         self.engine = EventEngine()
+        self.engine_kind = engine
         self.rng = random.Random(seed)
         self.pow_enabled = pow_enabled
         self.solve_deciders = dict(solve_deciders or {})
@@ -174,7 +199,25 @@ class Simulation:
         self.timeline = timeline
         self.load_reference = load_reference
         self.recorder = recorder
-        if recorder is not None:
+        self._fast = None
+        if engine == "fast":
+            from repro.net.sim.fastsim import FastSimulation
+
+            # The fast core owns the recorder attachment in this mode;
+            # attaching here too would double-capture every decision.
+            self._fast = FastSimulation(
+                framework,
+                channel=self.channel,
+                server_model=self.server_model,
+                seed=seed,
+                pow_enabled=pow_enabled,
+                solve_deciders=self.solve_deciders,
+                hash_rates=self.hash_rates,
+                patiences=self.patiences,
+                load_reference=load_reference,
+                recorder=recorder,
+            )
+        elif recorder is not None:
             recorder.attach(framework.events)
 
         self._server_busy_until = 0.0
@@ -245,6 +288,12 @@ class Simulation:
     # ------------------------------------------------------------------
     def submit(self, entry: TraceEntry) -> None:
         """Schedule one trace entry's arrival at its request timestamp."""
+        if self._fast is not None:
+            raise ValueError(
+                "engine='fast' consumes the whole trace passed to "
+                "run(); pre-submitted entries would be silently "
+                "dropped — include them in the trace instead"
+            )
         self._profiles[entry.request.client_ip] = entry.profile
         if self.recorder is not None:
             self.recorder.register_source(
@@ -380,6 +429,13 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self, trace: Trace, until: float | None = None) -> SimulationReport:
         """Replay ``trace`` to completion (or ``until``) and report."""
+        if self._fast is not None:
+            report = self._fast.run(trace, until=until)
+            self.metrics = report.metrics
+            self._requests = report.requests
+            self.arrival_batches = self._fast.arrival_batches
+            self.largest_arrival_batch = self._fast.largest_arrival_batch
+            return report
         for entry in trace:
             self.submit(entry)
         self.engine.run(until=until)

@@ -21,6 +21,7 @@ from repro.replay.campaign import (
     CAMPAIGNS,
     CampaignRun,
     CampaignSpec,
+    ScaleSpec,
     run_campaign,
 )
 from repro.replay.diff import DiffReport, FieldDiff, diff_decisions
@@ -49,6 +50,7 @@ __all__ = [
     "loopback_plan",
     "parse_target",
     "replay_live_gateway",
+    "ScaleSpec",
     "run_campaign",
     "spec_from_trace",
     "spec_hash",

@@ -23,6 +23,7 @@ decision stream is a pure function of the recorded request stream.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Mapping
 
 from repro.attacks import make_attacker
@@ -44,7 +45,38 @@ from repro.traffic.profiles import (
 )
 from repro.traffic.trace import Trace
 
-__all__ = ["CampaignSpec", "CampaignRun", "CAMPAIGNS", "run_campaign"]
+__all__ = [
+    "CampaignSpec",
+    "CampaignRun",
+    "ScaleSpec",
+    "CAMPAIGNS",
+    "run_campaign",
+]
+
+#: Per-kind parameter catalogues a :class:`ScaleSpec` pattern may carry
+#: (beyond ``kind``) — a misspelled or inapplicable key would otherwise
+#: be silently dropped and the scenario would quietly run on defaults.
+_PATTERN_PARAMS: dict[str, frozenset] = {
+    "poisson": frozenset({"rate"}),
+    "flash": frozenset({"waves", "wave_gap", "jitter"}),
+    "pulse": frozenset({"rate", "on_seconds", "off_seconds"}),
+    "diurnal": frozenset({"rate", "trough"}),
+    "ramp": frozenset({"rate"}),
+}
+
+#: Flash-pattern defaults, shared between the duration-fit validator
+#: and the schedule builder so the bound being checked is the bound
+#: being built.
+_FLASH_DEFAULTS = {"waves": 1, "wave_gap": 1.0, "jitter": 0.05}
+
+
+def _flash_params(pattern: Mapping) -> tuple[int, float, float]:
+    """``(waves, wave_gap, jitter)`` with the shared defaults applied."""
+    return (
+        int(pattern.get("waves", _FLASH_DEFAULTS["waves"])),
+        float(pattern.get("wave_gap", _FLASH_DEFAULTS["wave_gap"])),
+        float(pattern.get("jitter", _FLASH_DEFAULTS["jitter"])),
+    )
 
 _PROFILES: dict[str, ClientProfile] = {
     "benign": BENIGN_PROFILE,
@@ -56,6 +88,65 @@ _PROFILES: dict[str, ClientProfile] = {
 #: keys, values inside the corpus range) — probes need scoreable
 #: requests but no ground-truth population behind them.
 _PROBE_IP = "110.99.99.99"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleSpec:
+    """Large-scale parameters routing a campaign onto the fast engine.
+
+    A campaign carrying a ``ScaleSpec`` runs through the vectorized
+    :class:`~repro.net.sim.fastsim.FastSimulation` over a
+    struct-of-arrays population instead of the object-world simulator:
+    no per-client objects, no recorded trace (a million-decision trace
+    is an artefact nobody replays), cohorts quantized to ``tick``.
+
+    Parameters
+    ----------
+    tick:
+        Cohort quantization grid in seconds — the calendar queue's
+        bucket width.
+    patterns:
+        ``profile_name -> pattern spec`` mapping choosing each
+        population's arrival process: ``{"kind": "poisson" | "flash" |
+        "pulse" | "diurnal" | "ramp", ...params}``.  Profiles without
+        an entry fire Poisson at their profile request rate.
+    server:
+        Optional ``(challenge, verify, resource)`` cost triple for a
+        hardware-scaled server model; ``None`` keeps the calibrated
+        single-box defaults.
+    feedback:
+        Thread a :class:`~repro.net.sim.fastsim.FastFeedback` offset
+        table through scoring — the batch port of behavioural
+        feedback, for reward-farming scenarios.
+    """
+
+    tick: float = 0.005
+    patterns: Mapping[str, Mapping] = dataclasses.field(
+        default_factory=dict
+    )
+    server: tuple[float, float, float] | None = None
+    feedback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError(f"tick must be > 0, got {self.tick}")
+        for profile_name, pattern in self.patterns.items():
+            kind = pattern.get("kind", "poisson")
+            if kind not in _PATTERN_PARAMS:
+                raise ValueError(
+                    f"unknown pattern kind {kind!r} for profile "
+                    f"{profile_name!r} (catalogue: "
+                    f"{', '.join(sorted(_PATTERN_PARAMS))})"
+                )
+            unknown = set(pattern) - _PATTERN_PARAMS[kind] - {"kind"}
+            if unknown:
+                raise ValueError(
+                    f"pattern for profile {profile_name!r} carries "
+                    f"parameters {sorted(unknown)} that {kind!r} does "
+                    f"not accept (catalogue: "
+                    f"{sorted(_PATTERN_PARAMS[kind])}) — they would be "
+                    "silently ignored"
+                )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +172,10 @@ class CampaignSpec:
         ``"replay"``, ``"precompute"``, or ``None`` — an additional
         protocol-level attack driven through the framework after the
         traffic run.
+    scale:
+        Optional :class:`ScaleSpec`; when present the campaign runs on
+        the vectorized engine (million-agent scenarios) and records no
+        trace.
     """
 
     name: str
@@ -95,6 +190,7 @@ class CampaignSpec:
         default_factory=dict
     )
     protocol_probe: str | None = None
+    scale: ScaleSpec | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -124,14 +220,57 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown protocol probe {self.protocol_probe!r}"
             )
+        if self.scale is not None:
+            for pattern_profile in self.scale.patterns:
+                if pattern_profile not in population_names:
+                    raise ValueError(
+                        f"pattern profile {pattern_profile!r} matches no "
+                        f"population (have: {sorted(population_names)})"
+                    )
+            if self.protocol_probe is not None:
+                raise ValueError(
+                    "protocol probes are object-world; large-scale "
+                    "campaigns cannot carry one"
+                )
+            if self.scale.feedback and self.spec.feedback:
+                raise ValueError(
+                    "scale.feedback models behavioural feedback as an "
+                    "array offset table; the framework recipe must use "
+                    "feedback=False (a stateful model would force "
+                    "framework admission and neither feedback path "
+                    "would actually run)"
+                )
+            for profile_name, pattern in self.scale.patterns.items():
+                if pattern.get("kind") != "flash":
+                    continue
+                # Every other pattern kind is duration-bounded by
+                # construction; wave schedules must fit too, or the
+                # result would misreport the workload window.
+                waves, wave_gap, jitter = _flash_params(pattern)
+                last_fire = (waves - 1) * wave_gap + jitter
+                if last_fire > self.duration:
+                    raise ValueError(
+                        f"flash pattern for profile {profile_name!r} "
+                        f"fires until t={last_fire:g}s, past the "
+                        f"campaign duration of {self.duration:g}s"
+                    )
+
+    @property
+    def agents(self) -> int:
+        """Total client count across populations."""
+        return sum(count for _, count in self.populations)
 
 
 @dataclasses.dataclass
 class CampaignRun:
-    """Everything one campaign run produced."""
+    """Everything one campaign run produced.
+
+    ``trace`` is ``None`` for large-scale (``scale``) campaigns — they
+    aggregate outcomes instead of recording per-decision traces.
+    """
 
     spec: CampaignSpec
-    trace: Trace
+    trace: Trace | None
     result: ExperimentResult
     probe_outcome: AttackOutcome | None = None
 
@@ -193,6 +332,112 @@ CAMPAIGNS: dict[str, CampaignSpec] = {
             populations=(("benign", 6),),
             protocol_probe="precompute",
         ),
+        # ------------------------------------------------------------
+        # Large-scale scenarios (vectorized engine; no recorded trace).
+        # A hardware-scaled server model (fast challenge/verify paths,
+        # 50 us resource cost) stands in for a production box; the
+        # calibrated single-machine defaults would turn any
+        # million-request burst into a multi-hour queue.
+        # ------------------------------------------------------------
+        CampaignSpec(
+            name="flash-crowd-1m",
+            description="one million legitimate users stampede in a "
+            "quarter-second wave — the benign overload case",
+            duration=5.0,
+            seed=710,
+            populations=(("benign", 1_000_000),),
+            scale=ScaleSpec(
+                tick=0.02,
+                patterns={
+                    "benign": {"kind": "flash", "waves": 1, "jitter": 0.25}
+                },
+                server=(1e-5, 5e-6, 5e-5),
+            ),
+        ),
+        CampaignSpec(
+            name="flash-crowd-100k",
+            description="hundred-thousand-user flash crowd in two "
+            "waves — the CI-sized sibling of flash-crowd-1m",
+            duration=4.0,
+            seed=711,
+            populations=(("benign", 100_000),),
+            scale=ScaleSpec(
+                tick=0.01,
+                patterns={
+                    "benign": {
+                        "kind": "flash",
+                        "waves": 2,
+                        "wave_gap": 1.5,
+                        "jitter": 0.1,
+                    }
+                },
+                server=(1e-5, 5e-6, 5e-5),
+            ),
+        ),
+        CampaignSpec(
+            name="pulse-botnet-100k",
+            description="100k-bot botnet pulsing in on/off waves over "
+            "a steady benign population",
+            spec=FrameworkSpec(policy="policy-1", feedback=False),
+            duration=4.0,
+            seed=712,
+            populations=(("benign", 20_000), ("malicious", 100_000)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 16}},
+            scale=ScaleSpec(
+                tick=0.005,
+                patterns={
+                    "malicious": {
+                        "kind": "pulse",
+                        "rate": 3.0,
+                        "on_seconds": 0.5,
+                        "off_seconds": 1.0,
+                    }
+                },
+                server=(1e-5, 5e-6, 5e-5),
+            ),
+        ),
+        CampaignSpec(
+            name="diurnal-stealth-mix",
+            description="diurnal benign load with a stealth adaptive "
+            "botnet hiding in the daily rhythm",
+            duration=6.0,
+            seed=713,
+            populations=(("benign", 150_000), ("stealth", 10_000)),
+            attackers={
+                "stealth": {"kind": "adaptive", "value_per_request": 0.2}
+            },
+            scale=ScaleSpec(
+                tick=0.005,
+                patterns={
+                    "benign": {
+                        "kind": "diurnal",
+                        "rate": 1.0,
+                        "trough": 0.1,
+                    },
+                    "stealth": {"kind": "poisson", "rate": 5.0},
+                },
+                server=(1e-5, 5e-6, 5e-5),
+            ),
+        ),
+        CampaignSpec(
+            name="poison-ramp-250k",
+            description="50k bots farm behavioural-feedback rewards "
+            "on a linear ramp under 200k benign users — the "
+            "feedback-poisoning case (array-form offsets)",
+            duration=5.0,
+            seed=714,
+            populations=(("benign", 200_000), ("malicious", 50_000)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 20}},
+            scale=ScaleSpec(
+                tick=0.01,
+                patterns={
+                    "benign": {"kind": "poisson", "rate": 0.3},
+                    "malicious": {"kind": "ramp", "rate": 4.0},
+                },
+                server=(1e-5, 5e-6, 5e-5),
+                feedback=True,
+            ),
+        ),
     )
 }
 
@@ -214,6 +459,15 @@ def run_campaign(
             raise ComponentNotFoundError(
                 "campaign", campaign, tuple(sorted(CAMPAIGNS))
             ) from None
+
+    if campaign.scale is not None:
+        if record_path is not None:
+            raise ValueError(
+                f"campaign {campaign.name!r} is large-scale: it "
+                "aggregates outcomes instead of recording a "
+                "per-decision trace"
+            )
+        return _run_mega_campaign(campaign)
 
     generator = WorkloadGenerator(seed=campaign.seed)
     populations = [
@@ -309,6 +563,177 @@ def run_campaign(
         trace=trace,
         result=result,
         probe_outcome=probe_outcome,
+    )
+
+
+# ----------------------------------------------------------------------
+# Large-scale campaigns (vectorized engine)
+# ----------------------------------------------------------------------
+def _build_fires(campaign: CampaignSpec, population, rng):
+    """Per-profile fire schedules merged into one SoA workload."""
+    import numpy as np
+
+    from repro.net.sim import patterns as pat
+
+    scale = campaign.scale
+    schedules = []
+    offset = 0
+    for (profile_name, count), profile in zip(
+        campaign.populations, population.profiles
+    ):
+        agents = np.arange(offset, offset + count, dtype=np.int64)
+        offset += count
+        pattern = dict(scale.patterns.get(profile_name, {}))
+        kind = pattern.get("kind", "poisson")
+        rate = float(pattern.get("rate", profile.request_rate))
+        if kind == "flash":
+            waves, wave_gap, jitter = _flash_params(pattern)
+            schedules.append(
+                pat.flash_waves(
+                    agents,
+                    rng,
+                    waves=waves,
+                    wave_gap=wave_gap,
+                    jitter=jitter,
+                )
+            )
+        elif kind == "pulse":
+            schedules.append(
+                pat.pulse_fires(
+                    agents,
+                    rate,
+                    campaign.duration,
+                    rng,
+                    on_seconds=float(pattern.get("on_seconds", 1.0)),
+                    off_seconds=float(pattern.get("off_seconds", 4.0)),
+                )
+            )
+        elif kind == "diurnal":
+            schedules.append(
+                pat.diurnal_fires(
+                    agents,
+                    rate,
+                    campaign.duration,
+                    rng,
+                    trough=float(pattern.get("trough", 0.15)),
+                )
+            )
+        elif kind == "ramp":
+            schedules.append(
+                pat.ramp_fires(agents, rate, campaign.duration, rng)
+            )
+        else:  # poisson
+            schedules.append(
+                pat.poisson_fires(agents, rate, campaign.duration, rng)
+            )
+    return pat.merge_schedules(*schedules)
+
+
+def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
+    """Run a ``scale`` campaign through the vectorized engine."""
+    import numpy as np
+
+    from repro.net.sim.agents import AgentPopulation
+    from repro.net.sim.fastsim import FastFeedback, FastSimulation
+    from repro.net.sim.simulation import ServerModel
+
+    scale = campaign.scale
+    population = AgentPopulation.make(
+        [
+            (_PROFILES[name], count)
+            for name, count in campaign.populations
+        ],
+        seed=campaign.seed,
+    )
+    rng = np.random.default_rng(campaign.seed ^ 0x3AB)
+    fire_times, fire_agents = _build_fires(campaign, population, rng)
+
+    framework = campaign.spec.build()
+    solve_deciders = {
+        profile_name: make_attacker(attacker_spec)
+        for profile_name, attacker_spec in campaign.attackers.items()
+    }
+    server_model = (
+        ServerModel(*scale.server) if scale.server is not None else None
+    )
+    simulation = FastSimulation(
+        framework,
+        server_model=server_model,
+        seed=campaign.seed ^ 0x5CE4,
+        solve_deciders=solve_deciders,
+        hash_rates={p.name: p.hash_rate for p in population.profiles},
+        patiences={p.name: p.patience for p in population.profiles},
+        tick=scale.tick,
+    )
+    feedback = (
+        FastFeedback(len(population)) if scale.feedback else None
+    )
+    started = time.perf_counter()
+    report = simulation.run_fires(
+        population, fire_times, fire_agents, feedback=feedback
+    )
+    wall = time.perf_counter() - started
+
+    rows = []
+    for cls in report.metrics.class_names():
+        metrics = report.metrics.for_class(cls)
+        rows.append(
+            [
+                cls,
+                metrics.total,
+                metrics.goodput_fraction,
+                metrics.difficulties.mean,
+            ]
+        )
+    events_per_second = (
+        report.events_processed / wall if wall > 0 else 0.0
+    )
+    notes = [
+        f"{campaign.agents:,} agents, {report.requests:,} requests over "
+        f"{campaign.duration:g}s simulated",
+        f"vectorized engine: {wall:.2f}s wall, "
+        f"{events_per_second:,.0f} events/s, "
+        f"{simulation.arrival_batches} arrival cohorts "
+        f"(largest {simulation.largest_arrival_batch:,}), "
+        f"tick {scale.tick:g}s",
+        f"framework recipe hash {spec_hash(campaign.spec)}",
+    ]
+    if feedback is not None:
+        # "Farming" means the *attackers* earning reward offsets;
+        # benign clients accumulate them too simply by being served,
+        # so count only agents from attacker-backed profiles.
+        attacker_ids = [
+            pid
+            for pid, profile in enumerate(population.profiles)
+            if profile.name in campaign.attackers
+        ]
+        attacker_mask = np.isin(population.profile_id, attacker_ids)
+        offsets = feedback.offset[attacker_mask]
+        if offsets.size:
+            farmed = int(np.sum(offsets < -1e-12))
+            notes.append(
+                f"feedback offsets farmed by {farmed:,} of "
+                f"{offsets.size:,} attacking clients "
+                f"(attacker mean offset {float(offsets.mean()):+.3f}, "
+                f"population mean {float(feedback.offset.mean()):+.3f})"
+            )
+    result = ExperimentResult(
+        experiment_id=f"campaign:{campaign.name}",
+        title=f"Campaign {campaign.name!r} - {campaign.description}",
+        headers=["class", "requests", "goodput", "mean_difficulty"],
+        rows=rows,
+        notes=notes,
+        extra={
+            "agents": campaign.agents,
+            "requests": report.requests,
+            "served": report.served,
+            "events": report.events_processed,
+            "wall_seconds": wall,
+            "events_per_second": events_per_second,
+        },
+    )
+    return CampaignRun(
+        spec=campaign, trace=None, result=result, probe_outcome=None
     )
 
 

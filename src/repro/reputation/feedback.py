@@ -103,6 +103,11 @@ class FeedbackReputationModel:
     #: Outcomes that count as hostile behaviour.
     _BAD = (ResponseStatus.REJECTED, ResponseStatus.REPLAYED)
 
+    #: Scores drift as offsets move mid-run, so batch consumers that
+    #: pre-score clients (the vectorized simulator's array admission)
+    #: must route requests through the framework path instead.
+    scoring_is_stateful = True
+
     def __init__(
         self,
         base: ReputationModel,

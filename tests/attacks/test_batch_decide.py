@@ -1,0 +1,76 @@
+"""Batch attacker decisions must equal the scalar decisions bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AdaptiveAttacker,
+    BotnetAttacker,
+    FloodAttacker,
+    decide_batch,
+    make_attacker,
+)
+
+DIFFICULTIES = np.arange(0, 41)
+
+
+@pytest.mark.parametrize(
+    "attacker",
+    [
+        FloodAttacker(),
+        BotnetAttacker(max_difficulty=0),
+        BotnetAttacker(max_difficulty=16),
+        BotnetAttacker(max_difficulty=40),
+        AdaptiveAttacker(),
+        AdaptiveAttacker(value_per_request=0.01, hash_rate=1_000.0),
+        AdaptiveAttacker(value_per_request=10.0, hash_rate=1e9),
+    ],
+    ids=lambda a: f"{type(a).__name__}",
+)
+def test_decide_batch_matches_should_solve(attacker):
+    scalar = [attacker.should_solve(int(d)) for d in DIFFICULTIES]
+    batch = attacker.decide_batch(DIFFICULTIES)
+    assert batch.dtype == bool
+    assert batch.tolist() == scalar
+
+
+def test_adaptive_break_even_edge_is_identical():
+    """The batch rule flips at exactly the scalar break-even difficulty."""
+    attacker = AdaptiveAttacker(value_per_request=0.25, hash_rate=37_000.0)
+    edge = attacker.break_even_difficulty()
+    batch = attacker.decide_batch(np.array([edge, edge + 1]))
+    assert batch.tolist() == [True, False]
+
+
+class TestDispatchHelper:
+    def test_prefers_native_decide_batch(self):
+        result = decide_batch(BotnetAttacker(max_difficulty=5), DIFFICULTIES)
+        assert result.tolist() == (DIFFICULTIES <= 5).tolist()
+
+    def test_scalar_attacker_fallback(self):
+        class ThirdPartyAttacker:
+            """A scalar-only attacker (no decide_batch)."""
+
+            def should_solve(self, difficulty: int) -> bool:
+                return difficulty % 2 == 0
+
+        result = decide_batch(ThirdPartyAttacker(), np.arange(6))
+        assert result.tolist() == [True, False, True, False, True, False]
+
+    def test_bare_callable_fallback(self):
+        result = decide_batch(lambda d: d < 3, np.arange(6))
+        assert result.tolist() == [True, True, True, False, False, False]
+
+    def test_factory_attackers_carry_batch_decisions(self):
+        for spec in (
+            {"kind": "flood"},
+            {"kind": "botnet", "max_difficulty": 12},
+            {"kind": "adaptive", "value_per_request": 0.1},
+        ):
+            attacker = make_attacker(spec)
+            batch = decide_batch(attacker, DIFFICULTIES)
+            assert batch.tolist() == [
+                attacker.should_solve(int(d)) for d in DIFFICULTIES
+            ]

@@ -114,6 +114,72 @@ class TestRunControl:
         assert engine.clock() == 7.5
 
 
+class TestPendingAccounting:
+    """pending_count is a live counter; cancellations compact the heap."""
+
+    def test_pending_tracks_schedule_and_execution(self):
+        engine = EventEngine()
+        events = [engine.schedule_at(float(i), lambda: None) for i in range(5)]
+        assert engine.pending_count == 5
+        engine.step()
+        assert engine.pending_count == 4
+        events[-1].cancel()
+        assert engine.pending_count == 3
+        engine.run()
+        assert engine.pending_count == 0
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert engine.pending_count == 1
+
+    def test_mass_cancellation_compacts_heap(self):
+        """Cancelled entries must not linger in the heap indefinitely."""
+        engine = EventEngine()
+        doomed = [
+            engine.schedule_at(float(i), lambda: None) for i in range(1000)
+        ]
+        survivors = [
+            engine.schedule_at(2000.0 + i, lambda: None) for i in range(10)
+        ]
+        for event in doomed:
+            event.cancel()
+        assert engine.pending_count == 10
+        # The heap itself has been swept: cancelled events outnumbered
+        # live ones, so compaction dropped them without waiting for pops.
+        assert len(engine._heap) < 100
+        engine.run()
+        assert engine.processed_count == len(survivors)
+
+    def test_compaction_preserves_execution_order(self):
+        engine = EventEngine()
+        seen = []
+        doomed = [
+            engine.schedule_at(float(i), lambda: seen.append("doomed"))
+            for i in range(200)
+        ]
+        engine.schedule_at(50.5, lambda: seen.append("mid"))
+        engine.schedule_at(0.5, lambda: seen.append("early"))
+        engine.schedule_at(300.0, lambda: seen.append("late"))
+        for event in doomed:
+            event.cancel()
+        engine.run()
+        assert seen == ["early", "mid", "late"]
+
+    def test_cancelling_executed_event_does_not_underflow(self):
+        engine = EventEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.pending_count == 0
+        event.cancel()
+        # Cancelling an already-executed event is a pure no-op.
+        assert engine.pending_count == 0
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
 def test_execution_order_is_sorted_property(times):
     engine = EventEngine()

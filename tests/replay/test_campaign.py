@@ -9,6 +9,7 @@ from repro.core.spec import FrameworkSpec
 from repro.replay import (
     CAMPAIGNS,
     CampaignSpec,
+    ScaleSpec,
     run_campaign,
     spec_hash,
 )
@@ -124,3 +125,142 @@ class TestRuns:
         assert run.probe_outcome.attack == "precomputation"
         assert run.probe_outcome.succeeded is False
         assert sum(1 for e in run.trace if e.profile == "probe") == 4
+
+
+class TestScaleSpecs:
+    """Large-scale campaigns: validation and the vectorized run path."""
+
+    def test_scenario_suite_ships_large_scale_entries(self):
+        scaled = {
+            name
+            for name, campaign in CAMPAIGNS.items()
+            if campaign.scale is not None
+        }
+        assert {
+            "flash-crowd-1m",
+            "flash-crowd-100k",
+            "pulse-botnet-100k",
+            "diurnal-stealth-mix",
+            "poison-ramp-250k",
+        } <= scaled
+        assert CAMPAIGNS["flash-crowd-1m"].agents == 1_000_000
+        assert CAMPAIGNS["flash-crowd-100k"].agents == 100_000
+
+    def test_unknown_pattern_kind_rejected(self):
+        with pytest.raises(ValueError, match="pattern kind"):
+            ScaleSpec(patterns={"benign": {"kind": "tsunami"}})
+
+    def test_misspelled_pattern_parameter_rejected(self):
+        """A typo'd key must fail loudly, not silently run on defaults."""
+        with pytest.raises(ValueError, match="wavegap"):
+            ScaleSpec(
+                patterns={"benign": {"kind": "flash", "wavegap": 2.0}}
+            )
+
+    def test_inapplicable_pattern_parameter_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            ScaleSpec(patterns={"benign": {"kind": "flash", "rate": 5.0}})
+
+    def test_flash_waves_must_fit_campaign_duration(self):
+        with pytest.raises(ValueError, match="past the"):
+            CampaignSpec(
+                name="x",
+                description="x",
+                duration=2.0,
+                populations=(("benign", 10),),
+                scale=ScaleSpec(
+                    patterns={
+                        "benign": {
+                            "kind": "flash",
+                            "waves": 3,
+                            "wave_gap": 5.0,
+                        }
+                    }
+                ),
+            )
+
+    def test_scale_feedback_conflicts_with_framework_feedback(self):
+        with pytest.raises(ValueError, match="feedback=False"):
+            CampaignSpec(
+                name="x",
+                description="x",
+                spec=FrameworkSpec(feedback=True),
+                populations=(("benign", 10),),
+                scale=ScaleSpec(feedback=True),
+            )
+
+    def test_pattern_profile_must_match_population(self):
+        with pytest.raises(ValueError, match="matches no"):
+            CampaignSpec(
+                name="x",
+                description="x",
+                populations=(("benign", 10),),
+                scale=ScaleSpec(patterns={"stealth": {"kind": "flash"}}),
+            )
+
+    def test_protocol_probe_incompatible_with_scale(self):
+        with pytest.raises(ValueError, match="probe"):
+            CampaignSpec(
+                name="x",
+                description="x",
+                populations=(("benign", 10),),
+                protocol_probe="replay",
+                scale=ScaleSpec(),
+            )
+
+    def test_scale_campaign_refuses_record_path(self, tmp_path):
+        with pytest.raises(ValueError, match="large-scale"):
+            run_campaign(
+                "flash-crowd-100k", record_path=tmp_path / "t.jsonl"
+            )
+
+    def test_small_scale_campaign_runs_vectorized(self):
+        """A down-scaled flash crowd exercises the whole mega path."""
+        campaign = CampaignSpec(
+            name="mini-flash",
+            description="tiny vectorized smoke",
+            duration=2.0,
+            seed=99,
+            populations=(("benign", 400), ("malicious", 100)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 16}},
+            scale=ScaleSpec(
+                tick=0.01,
+                patterns={
+                    "benign": {"kind": "flash", "waves": 2, "jitter": 0.05},
+                    "malicious": {"kind": "ramp", "rate": 4.0},
+                },
+                server=(1e-5, 5e-6, 5e-5),
+            ),
+        )
+        run = run_campaign(campaign)
+        assert run.trace is None
+        assert run.result.extra["agents"] == 500
+        assert run.result.extra["requests"] > 800
+        assert run.result.extra["served"] > 0
+        classes = {row[0] for row in run.result.rows}
+        assert {"benign", "malicious"} <= classes
+        assert any("vectorized engine" in note for note in run.result.notes)
+
+    def test_feedback_scale_campaign_farms_offsets(self):
+        campaign = CampaignSpec(
+            name="mini-poison",
+            description="tiny feedback-farming smoke",
+            duration=2.0,
+            seed=98,
+            populations=(("benign", 100), ("malicious", 200)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 20}},
+            scale=ScaleSpec(
+                tick=0.01,
+                patterns={"malicious": {"kind": "poisson", "rate": 5.0}},
+                server=(1e-5, 5e-6, 5e-5),
+                feedback=True,
+            ),
+        )
+        run = run_campaign(campaign)
+        note = next(
+            n for n in run.result.notes if "feedback offsets" in n
+        )
+        # Farming is reported for the attacking population only (200
+        # bots), not the benign clients who also earn offsets by
+        # being served.
+        assert "of 200 attacking clients" in note

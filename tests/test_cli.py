@@ -44,7 +44,10 @@ class TestParser:
             ["replay", "--trace", "t.jsonl", "--live"],
             ["campaign", "--list"],
             ["campaign", "--scenario", "benign-baseline", "--record", "g"],
+            ["campaign", "--scenario", "flash-crowd-1m"],
             ["serve", "--gateway", "--record", "t.jsonl"],
+            ["profile", "abl-econ"],
+            ["profile", "megasim", "--top", "5", "--out", "s.prof"],
             ["all"],
         ],
     )
@@ -146,6 +149,61 @@ class TestReplayCommands:
         out = capsys.readouterr().out
         assert code == 2
         assert "unknown campaign" in out
+
+    def test_campaign_list_tags_large_scale_scenarios(self, capsys):
+        code = main(["campaign", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flash-crowd-1m" in out
+        assert "1,000,000 agents" in out
+
+    def test_scale_campaign_record_rejected(self, tmp_path, capsys):
+        code = main([
+            "campaign", "--scenario", "flash-crowd-1m",
+            "--record", str(tmp_path / "t.jsonl"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "large-scale" in out
+
+    def test_record_of_scale_campaign_rejected(self, tmp_path, capsys):
+        code = main([
+            "record", "--out", str(tmp_path / "t.jsonl"),
+            "--scenario", "pulse-botnet-100k",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "large-scale" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_hotspots(self, capsys):
+        code = main(["profile", "abl-econ", "--top", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top 5 hotspots by cumulative time" in out
+        assert "cumtime" in out
+        # The experiment's own output still renders first.
+        assert "break_even_difficulty" in out
+
+    def test_profile_unknown_experiment_rejected(self, capsys):
+        code = main(["profile", "warp-speed"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown experiment" in out
+
+    def test_profile_rejects_bad_top(self, capsys):
+        code = main(["profile", "abl-econ", "--top", "0"])
+        assert code == 2
+
+    def test_profile_out_writes_pstats_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "stats.prof"
+        code = main(["profile", "abl-econ", "--out", str(out_file)])
+        assert code == 0
+        import pstats
+
+        stats = pstats.Stats(str(out_file))
+        assert stats.total_calls > 0
 
     def test_record_then_replay_diff_identical(self, tmp_path, capsys):
         trace_path = tmp_path / "golden.jsonl"
