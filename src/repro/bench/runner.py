@@ -88,6 +88,12 @@ def _megasim_result() -> ExperimentResult:
     return run_megasim_throughput()
 
 
+def _netsim_result() -> ExperimentResult:
+    from repro.bench.netsim import run_netsim_throughput
+
+    return run_netsim_throughput()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
@@ -95,6 +101,7 @@ EXPERIMENTS["thr-live"] = _live_throughput_result
 EXPERIMENTS["thr-shard"] = _shard_throughput_result
 EXPERIMENTS["thr-replay"] = _replay_throughput_result
 EXPERIMENTS["megasim"] = _megasim_result
+EXPERIMENTS["netsim"] = _netsim_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

@@ -222,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--list", action="store_true", help="list available campaigns"
     )
+    campaign.add_argument(
+        "--link", action="append", default=None, metavar="POP=PROFILE",
+        help="override a scale campaign's link assignment (repeatable), "
+        "e.g. --link benign=lossy-mobile; POP=none removes a link",
+    )
+    campaign.add_argument(
+        "--list-links", action="store_true",
+        help="list available link profiles and exit",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -805,8 +814,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from repro.net.sim.links import LINK_PROFILES
     from repro.replay import CAMPAIGNS, run_campaign
 
+    if args.list_links:
+        for name in sorted(LINK_PROFILES):
+            profile = LINK_PROFILES[name]
+            print(f"{name}: {profile.note}")
+        return 0
     if args.list or args.scenario is None:
         for name in sorted(CAMPAIGNS):
             campaign = CAMPAIGNS[name]
@@ -821,8 +838,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"unknown campaign {args.scenario!r}; "
               f"available: {', '.join(sorted(CAMPAIGNS))}")
         return 2
+    campaign = CAMPAIGNS[args.scenario]
+    if args.link:
+        if campaign.scale is None:
+            print(f"campaign {args.scenario!r} is not large-scale; "
+                  "--link applies only to scale campaigns (the link "
+                  "substrate lives in the vectorized engine)")
+            return 2
+        links = dict(campaign.scale.links)
+        for override in args.link:
+            pop, sep, profile = override.partition("=")
+            if not sep or not pop or not profile:
+                print(f"--link expects POP=PROFILE, got {override!r}")
+                return 2
+            if profile == "none":
+                links.pop(pop, None)
+            else:
+                links[pop] = profile
+        try:
+            campaign = _dc.replace(
+                campaign,
+                scale=_dc.replace(campaign.scale, links=links),
+            )
+        except ValueError as exc:
+            # Unknown profile / population — the specs validate loudly.
+            print(exc)
+            return 2
     try:
-        run = run_campaign(args.scenario, record_path=args.record)
+        run = run_campaign(campaign, record_path=args.record)
     except ValueError as exc:
         # e.g. --record of a large-scale campaign (they aggregate
         # outcomes; the library owns that rule).

@@ -171,6 +171,25 @@ class AgentPopulation:
             )
         return np.asarray(scorer(self.features), dtype=np.float64)
 
+    def packed_ips(self) -> np.ndarray:
+        """Integer-packed address per agent (``int64[n]``), vectorised.
+
+        ``int(ipaddress.ip_address(ip_strings()[i]))`` for every agent
+        without minting a single string: the profile subnet's network
+        address plus the agent's host offset.  This is the hash input
+        for per-agent link delays (:mod:`repro.net.sim.links`) — both
+        engines derive the same integers, so hash-keyed draws agree
+        bit-for-bit.
+        """
+        bases = np.array(
+            [
+                int(ipaddress.ip_network(p.subnet).network_address)
+                for p in self.profiles
+            ],
+            dtype=np.int64,
+        )
+        return bases[self.profile_id] + self.ip_index.astype(np.int64)
+
     def ip_strings(self, agents: Sequence[int] | None = None) -> list[str]:
         """Dotted-quad addresses for ``agents`` (default: everyone).
 

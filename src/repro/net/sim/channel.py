@@ -29,6 +29,16 @@ class Channel(Protocol):
     numpy-generator batch draw — so the vectorized simulator can
     sample a whole cohort's crossings in one call; third-party
     scalar-only channels fall back to a per-draw loop there.
+
+    Contract (both hooks):
+
+    * every delay is **finite and >= 0** — the simulators additionally
+      clamp at zero on every use, so a misbehaving channel can shrink
+      a delay but can never schedule an event in the past;
+    * ``delay_array(rng, count)`` returns a ``float64`` array of shape
+      ``(count,)``.  The dtype matters: link composition adds channel
+      delays to hash-derived float64 link delays, and a narrower dtype
+      would make the scalar and vectorized engines round differently.
     """
 
     def one_way_delay(self, rng: random.Random) -> float: ...
@@ -53,7 +63,7 @@ class FixedDelayChannel:
         """Batch draw: the constant, broadcastable (no RNG consumed)."""
         import numpy as np
 
-        return np.full(count, self.delay)
+        return np.full(count, self.delay, dtype=np.float64)
 
 
 class UniformJitterChannel:

@@ -100,14 +100,26 @@ class ClosedLoopSimulation:
         hash_rates: Mapping[str, float] | None = None,
         recorder=None,
         engine: str = "callback",
+        links=None,
     ) -> None:
         if engine not in ("callback", "fast"):
             raise ValueError(
                 f"engine must be 'callback' or 'fast', got {engine!r}"
             )
+        if links is not None and not links.delay_only:
+            # Closed-loop exchanges have no request identity to key
+            # loss hashes on and no give-up semantics; only the
+            # propagation-delay part of a link is defined here.
+            raise ValueError(
+                "closed-loop runs support delay-only link profiles; "
+                "lossy or bandwidth-capped links need the open-loop "
+                "simulations"
+            )
         self.framework = framework
         self.recorder = recorder
         self.engine_kind = engine
+        self.links = links
+        self._link_base: dict[tuple[str, str], float] = {}
         self._fast = None
         if engine == "fast":
             from repro.net.sim.fastsim import FastSimulation
@@ -120,6 +132,7 @@ class ClosedLoopSimulation:
                 seed=seed,
                 hash_rates=dict(hash_rates or {}),
                 recorder=recorder,
+                links=links,
             )
         elif recorder is not None:
             recorder.attach(framework.events)
@@ -146,7 +159,39 @@ class ClosedLoopSimulation:
         )
 
     def _delay(self) -> float:
-        return self.channel.one_way_delay(self.rng)
+        # Channel contract backstop: a negative delay would schedule
+        # an event before its cause.
+        return max(0.0, self.channel.one_way_delay(self.rng))
+
+    def _base_of(self, session: SessionSpec) -> float:
+        """The session's per-agent link propagation delay (0 = no link).
+
+        Same hash kernel as the fast engine, evaluated on one-element
+        arrays, so both engines add bit-identical delays per leg.
+        """
+        if self.links is None:
+            return 0.0
+        key = (session.client.profile.name, session.client.ip)
+        hit = self._link_base.get(key)
+        if hit is None:
+            import ipaddress
+
+            import numpy as np
+
+            qid = int(self.links.queue_ids([key[0]])[0])
+            hit = 0.0
+            if qid >= 0:
+                hit = float(
+                    self.links.base_delays(
+                        np.array(
+                            [int(ipaddress.ip_address(key[1]))],
+                            dtype=np.int64,
+                        ),
+                        np.array([qid], dtype=np.int64),
+                    )[0]
+                )
+            self._link_base[key] = hit
+        return hit
 
     def _server_complete(self, arrival: float, cost: float) -> float:
         start = max(arrival, self._server_busy_until)
@@ -186,7 +231,7 @@ class ClosedLoopSimulation:
             timestamp=now,
             features=session.client.features,
         )
-        arrive = now + self._delay()
+        arrive = now + self._delay() + self._base_of(session)
         self.engine.schedule_at(
             arrive,
             lambda: self._serve(session, request, remaining),
@@ -218,7 +263,7 @@ class ClosedLoopSimulation:
             batch, challenges
         ):
             self.engine.schedule_at(
-                issue_at + self._delay(),
+                issue_at + self._delay() + self._base_of(session),
                 lambda s=session, c=challenge, r=remaining: self._solve(
                     s, c, r
                 ),
@@ -243,7 +288,7 @@ class ClosedLoopSimulation:
                 ),
             )
             return
-        submit_at = now + sample.seconds + self._delay()
+        submit_at = now + sample.seconds + self._delay() + self._base_of(session)
         self.engine.schedule_at(
             submit_at,
             lambda: self._redeem(session, challenge, remaining, sample.attempts),
@@ -260,7 +305,7 @@ class ClosedLoopSimulation:
         cost = self.server_model.verify_cost + self.server_model.resource_cost
         done = self._server_complete(now, cost)
         self.engine.schedule_at(
-            done + self._delay(),
+            done + self._delay() + self._base_of(session),
             lambda: self._finish(
                 session, challenge, ResponseStatus.SERVED, remaining, attempts
             ),

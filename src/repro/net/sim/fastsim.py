@@ -44,7 +44,8 @@ function of queue timing, so under solving traffic they inherit the
 timing stream's seed-sensitivity (two callback runs with different
 seeds diverge the same way); the engines still interleave load
 observations with decisions identically, which the parity suite pins
-down with deterministic-timing workloads.  The callback engine remains the reference implementation and
+down with deterministic-timing workloads.  The callback engine remains
+the reference implementation and
 still owns the odd TTL/timeout edge (it emits per-response bus events,
 which behavioural feedback and timeline collectors consume).
 
@@ -69,6 +70,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.net.sim.agents import AgentPopulation
 from repro.net.sim.calendar import CalendarQueue
 from repro.net.sim.channel import Channel, FixedDelayChannel
+from repro.net.sim.links import LinkSet
 from repro.net.sim.simulation import ServerModel, SimulationReport
 from repro.policies.adaptive import LoadAdaptivePolicy
 
@@ -282,6 +284,7 @@ class FastSimulation:
         recorder=None,
         tick: float | None = None,
         admission: str = "auto",
+        links: LinkSet | None = None,
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
@@ -306,6 +309,7 @@ class FastSimulation:
         self.load_reference = load_reference
         self.recorder = recorder
         self.tick = tick
+        self.links = links
         self._admission_request = admission
         self.default_hash_rate = 1.0 / timing.seconds_per_attempt
         self.rng = np.random.default_rng(seed)
@@ -338,9 +342,32 @@ class FastSimulation:
         self._now = 0.0
         self._buffers = _OutcomeBuffers()
         self._observe_load = observe_load
+        self._link_session = (
+            self.links.session() if self.links is not None else None
+        )
+        #: Network-layer outcome counters of the last run (``None``
+        #: when the run carries no links).
+        self.link_stats = (
+            self._link_session.stats if self._link_session else None
+        )
         self.arrival_batches = 0
         self.largest_arrival_batch = 0
         self.events_processed = 0
+
+    def _bind_links(
+        self,
+        class_names: Sequence[str],
+        class_ids: np.ndarray,
+        packed_ips: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-request ``(queue_id, base_delay)`` under :attr:`links`.
+
+        Queue ids come from the class's link assignment (``-1`` = no
+        link); base delays are hash-derived from the packed address, so
+        they match the callback engine's per-IP lookups bit-for-bit.
+        """
+        qids = self.links.queue_ids(class_names)[class_ids]
+        return qids, self.links.base_delays(packed_ips, qids)
 
     def _admission_mode(self) -> str:
         # Stateful scorers (behavioural feedback) update from
@@ -393,18 +420,22 @@ class FastSimulation:
         channel.
         """
         if isinstance(self.channel, FixedDelayChannel):
-            return self.channel.delay
+            return max(0.0, self.channel.delay)
         batch = getattr(self.channel, "delay_array", None)
         if batch is not None:
-            return np.asarray(batch(self.rng, count), dtype=np.float64)
-        return np.fromiter(
-            (
-                self.channel.one_way_delay(self._pyrng)
-                for _ in range(count)
-            ),
-            dtype=np.float64,
-            count=count,
-        )
+            drawn = np.asarray(batch(self.rng, count), dtype=np.float64)
+        else:
+            drawn = np.fromiter(
+                (
+                    self.channel.one_way_delay(self._pyrng)
+                    for _ in range(count)
+                ),
+                dtype=np.float64,
+                count=count,
+            )
+        # Channel contract backstop: a negative delay would schedule
+        # an event before its cause.
+        return np.maximum(0.0, drawn)
 
     def _fifo(self, at: float, costs: np.ndarray | float, count: int) -> np.ndarray:
         """FIFO completion times for ``count`` arrivals at ``at``.
@@ -553,6 +584,9 @@ class FastSimulation:
         ts = np.empty(n)
         class_ids = np.empty(n, dtype=np.int32)
         agent_ids = np.empty(n, dtype=np.int64)
+        packed = np.empty(n, dtype=np.int64) if self.links is not None else None
+        if packed is not None:
+            import ipaddress
         for i, entry in enumerate(entries):
             ts[i] = entry.request.timestamp
             cid = class_index.setdefault(entry.profile, len(class_names))
@@ -562,10 +596,19 @@ class FastSimulation:
             agent_ids[i] = agent_index.setdefault(
                 entry.request.client_ip, len(agent_index)
             )
+            if packed is not None:
+                packed[i] = int(
+                    ipaddress.ip_address(entry.request.client_ip)
+                )
             if self.recorder is not None:
                 self.recorder.register_source(
                     entry.request.client_ip, entry.profile, entry.true_score
                 )
+        link_qids = link_base = None
+        if packed is not None:
+            link_qids, link_base = self._bind_links(
+                class_names, class_ids, packed
+            )
 
         mode = self._admission_mode()
         scores = None
@@ -590,6 +633,8 @@ class FastSimulation:
             scores=scores,
             requests_of=requests_of,
             until=until,
+            link_qids=link_qids,
+            link_base=link_base,
         )
 
     def run_fires(
@@ -630,6 +675,17 @@ class FastSimulation:
                 _innermost_batch_scorer(self.framework.model)
             )
         class_ids = population.profile_id[fire_agents].astype(np.int32)
+        link_qids = link_base = None
+        if self.links is not None:
+            # Per-agent link state is SoA: one hash-derived base delay
+            # and one queue id per agent, gathered per fire.
+            agent_qids, agent_base = self._bind_links(
+                population.profile_names,
+                population.profile_id,
+                population.packed_ips(),
+            )
+            link_qids = agent_qids[fire_agents]
+            link_base = agent_base[fire_agents]
         per_fire_scores = None
         if base_scores is not None and feedback is None:
             per_fire_scores = base_scores[fire_agents]
@@ -686,6 +742,8 @@ class FastSimulation:
             requests_of=requests_of,
             until=until,
             feedback=feedback,
+            link_qids=link_qids,
+            link_base=link_base,
         )
 
     def _run_open_loop(
@@ -701,6 +759,8 @@ class FastSimulation:
         until: float | None,
         score_hook=None,
         feedback: FastFeedback | None = None,
+        link_qids: np.ndarray | None = None,
+        link_base: np.ndarray | None = None,
     ) -> SimulationReport:
         """The shared open-loop engine behind :meth:`run`/:meth:`run_fires`."""
         self._reset()
@@ -710,17 +770,37 @@ class FastSimulation:
         cpu_free = np.zeros(n_agents)
         hash_rate = self._per_class(class_names, self.hash_rates, self.default_hash_rate)
         patience = self._per_class(class_names, self.patiences, 30.0)
+        if link_base is None:
+            link_base = 0.0  # broadcasts as "no extra propagation"
 
         # Arrival times: one channel crossing per submitted request.
         # _push_grouped stable-sorts them, so equal-instant arrivals
         # keep trace order — the exact cohorts the callback engine's
-        # arrival batching forms.
+        # arrival batching forms.  Linked requests instead enter their
+        # uplink at the submit instant ("xmit"); the crossing decides
+        # when — and whether — they arrive.
         if n:
-            self._push_grouped(
-                ts + self._delays(n),
-                "arrive",
-                (np.arange(n, dtype=np.int64),),
-            )
+            all_idx = np.arange(n, dtype=np.int64)
+            if self._link_session is not None:
+                linked = link_qids >= 0
+                plain = all_idx[~linked]
+                if plain.size:
+                    self._push_grouped(
+                        ts[plain] + self._delays(int(plain.size)),
+                        "arrive",
+                        (plain,),
+                    )
+                wired = all_idx[linked]
+                if wired.size:
+                    self._push_grouped(
+                        ts[wired],
+                        "xmit",
+                        (wired, np.ones(wired.size, dtype=np.int64)),
+                    )
+            else:
+                self._push_grouped(
+                    ts + self._delays(n), "arrive", (all_idx,)
+                )
 
         get_scores = score_hook
         if get_scores is None and scores is not None:
@@ -747,6 +827,28 @@ class FastSimulation:
                         get_scores=get_scores,
                         requests_of=requests_of,
                         until=until,
+                        link_qids=link_qids,
+                        link_base=link_base,
+                    )
+                elif kind == "xmit":
+                    self._process_xmit(
+                        when,
+                        payload,
+                        ts=ts,
+                        class_ids=class_ids,
+                        patience=patience,
+                        link_qids=link_qids,
+                        link_base=link_base,
+                    )
+                elif kind == "xmitsol":
+                    self._process_xmitsol(
+                        when,
+                        payload,
+                        ts=ts,
+                        class_ids=class_ids,
+                        class_names=class_names,
+                        link_qids=link_qids,
+                        link_base=link_base,
                     )
                 else:  # solution
                     self._process_solutions(
@@ -760,6 +862,7 @@ class FastSimulation:
                         model=model,
                         until=until,
                         feedback=feedback,
+                        link_base=link_base,
                     )
 
         duration = until if until is not None else self._now
@@ -768,6 +871,7 @@ class FastSimulation:
             duration=duration,
             requests=n,
             events_processed=self.events_processed,
+            link_stats=self.link_stats,
         )
 
     def _process_arrivals(
@@ -785,6 +889,8 @@ class FastSimulation:
         get_scores,
         requests_of,
         until: float | None,
+        link_qids: np.ndarray | None = None,
+        link_base: np.ndarray | float = 0.0,
     ) -> None:
         k = int(idx.size)
         self.arrival_batches += 1
@@ -792,6 +898,9 @@ class FastSimulation:
         self.events_processed += k + 1  # arrivals + the drain
         cids = class_ids[idx]
         model = self.server_model
+        # Server->client legs add the agent's propagation delay but are
+        # modelled lossless (the uplink is the constrained direction).
+        base = link_base[idx] if isinstance(link_base, np.ndarray) else 0.0
 
         # Decision order matters for stateful (load-adaptive) policies:
         # the callback engine charges the cohort's FIFO costs — which
@@ -809,7 +918,7 @@ class FastSimulation:
                 cohort_scores, difficulties = self._admit_framework(
                     requests_of(idx), now=when
                 )
-            finish = dones + self._delays(k)
+            finish = dones + self._delays(k) + base
             self.events_processed += k
             out = self._mask_until(
                 until, finish, cids, cohort_scores, difficulties, ts[idx]
@@ -838,7 +947,7 @@ class FastSimulation:
                 requests_of(idx), now=[float(t) for t in issue]
             )
 
-        receipt = issue + self._delays(k)
+        receipt = issue + self._delays(k) + base
         self.events_processed += k  # puzzle deliveries
         solve = self._decide_solve(class_names, cids, difficulties)
 
@@ -903,7 +1012,6 @@ class FastSimulation:
         solving = ~abandoned
         if not solving.any():
             return
-        submit = solve_end[solving] + self._delays(int(solving.sum()))
         payload = (
             s_idx[solving],
             issue[solve][solving],
@@ -911,6 +1019,30 @@ class FastSimulation:
             s_diff[solving],
             s_scores[solving],
         )
+        if self._link_session is not None:
+            # Linked agents enter their uplink the instant solving
+            # ends; the crossing (loss, queue) decides the submit time.
+            on_link = link_qids[payload[0]] >= 0
+            if on_link.any():
+                self._push_grouped(
+                    solve_end[solving][on_link],
+                    "xmitsol",
+                    tuple(col[on_link] for col in payload)
+                    + (np.ones(int(on_link.sum()), dtype=np.int64),),
+                )
+            off_link = ~on_link
+            if off_link.any():
+                submit = (
+                    solve_end[solving][off_link]
+                    + self._delays(int(off_link.sum()))
+                )
+                self._push_grouped(
+                    submit,
+                    "solve",
+                    tuple(col[off_link] for col in payload),
+                )
+            return
+        submit = solve_end[solving] + self._delays(int(solving.sum()))
         self._push_grouped(submit, "solve", payload)
 
     def _process_solutions(
@@ -926,6 +1058,7 @@ class FastSimulation:
         model: ServerModel,
         until: float | None,
         feedback: FastFeedback | None,
+        link_base: np.ndarray | float = 0.0,
     ) -> None:
         idx, issued_at, attempts, difficulties, scores = payload
         k = int(idx.size)
@@ -935,7 +1068,8 @@ class FastSimulation:
             expired, 0.0, model.resource_cost
         )
         dones = self._fifo(when, costs, k)
-        finish = dones + self._delays(k)
+        base = link_base[idx] if isinstance(link_base, np.ndarray) else 0.0
+        finish = dones + self._delays(k) + base
         self.events_processed += k  # terminal responses
         status_codes = np.where(
             expired,
@@ -969,6 +1103,175 @@ class FastSimulation:
             feedback.observe_served(agents_m[codes_m == _SERVED], when)
 
     # ------------------------------------------------------------------
+    # Link crossings
+    # ------------------------------------------------------------------
+    def _process_xmit(
+        self,
+        when: float,
+        payload: tuple,
+        *,
+        ts: np.ndarray,
+        class_ids: np.ndarray,
+        patience: np.ndarray,
+        link_qids: np.ndarray,
+        link_base: np.ndarray,
+    ) -> None:
+        """Request-leg uplink crossings: loss, queueing, retry, give-up.
+
+        Requests the network swallows here were never admitted — they
+        carry no score or difficulty — so give-ups land in
+        :attr:`link_stats`, not the metrics.  A retry that would start
+        past the client's patience window gives up instead: nobody
+        retransmits a page request they have stopped waiting for.
+        """
+        idx, attempt = payload
+        k = int(idx.size)
+        self.events_processed += k
+        session = self._link_session
+        stats = session.stats
+        stats.crossings += k
+        qids = link_qids[idx]
+        for qid in np.unique(qids):
+            pos = np.nonzero(qids == qid)[0]
+            profile = self.links.profile_of_queue(int(qid))
+            lost = self.links.crossing_lost(
+                idx[pos], attempt[pos], leg=0, loss_rate=profile.loss_rate
+            )
+            stats.lost += int(lost.sum())
+            surv = pos[~lost]
+            exits, accepted = session.cross(
+                int(qid), when, int(surv.size)
+            )
+            stats.queue_dropped += int(surv.size) - accepted
+            deliv = idx[surv[:accepted]]
+            if deliv.size:
+                self._push_grouped(
+                    exits + link_base[deliv] + self._delays(int(deliv.size)),
+                    "arrive",
+                    (deliv,),
+                )
+            # Failed = lost + tail-dropped, in original crossing order
+            # (a same-instant retry cohort re-enters the queue in the
+            # order the callback engine would process it).
+            failed = np.zeros(pos.size, dtype=bool)
+            failed[np.nonzero(lost)[0]] = True
+            failed[np.nonzero(~lost)[0][accepted:]] = True
+            if not failed.any():
+                continue
+            f_pos = pos[failed]
+            f_idx = idx[f_pos]
+            f_att = attempt[f_pos]
+            retry_at = when + profile.backoff * 2.0 ** (
+                f_att.astype(np.float64) - 1.0
+            )
+            can = (f_att < 1 + profile.max_retries) & (
+                (retry_at - ts[f_idx]) <= patience[class_ids[f_idx]]
+            )
+            stats.retries += int(can.sum())
+            stats.request_give_ups += int((~can).sum())
+            if can.any():
+                self._push_grouped(
+                    retry_at[can], "xmit", (f_idx[can], f_att[can] + 1)
+                )
+
+    def _process_xmitsol(
+        self,
+        when: float,
+        payload: tuple,
+        *,
+        ts: np.ndarray,
+        class_ids: np.ndarray,
+        class_names: Sequence[str],
+        link_qids: np.ndarray,
+        link_base: np.ndarray,
+    ) -> None:
+        """Solution-leg uplink crossings.
+
+        Same loss/queue/retry mechanics as the request leg, with two
+        differences: the client already sank the solving work, so it
+        retries until ``max_retries`` regardless of patience (TTL
+        expiry — not impatience — punishes lateness), and a final
+        give-up *is* recorded in the metrics as ABANDONED: the puzzle
+        was issued and solved, so scores and difficulties exist.
+        """
+        idx, issued_at, attempts, difficulties, scores, attempt = payload
+        k = int(idx.size)
+        self.events_processed += k
+        session = self._link_session
+        stats = session.stats
+        stats.crossings += k
+        qids = link_qids[idx]
+        for qid in np.unique(qids):
+            pos = np.nonzero(qids == qid)[0]
+            profile = self.links.profile_of_queue(int(qid))
+            lost = self.links.crossing_lost(
+                idx[pos], attempt[pos], leg=1, loss_rate=profile.loss_rate
+            )
+            stats.lost += int(lost.sum())
+            surv = pos[~lost]
+            exits, accepted = session.cross(
+                int(qid), when, int(surv.size)
+            )
+            stats.queue_dropped += int(surv.size) - accepted
+            deliv = surv[:accepted]
+            if deliv.size:
+                submit = (
+                    exits
+                    + link_base[idx[deliv]]
+                    + self._delays(int(deliv.size))
+                )
+                self._push_grouped(
+                    submit,
+                    "solve",
+                    (
+                        idx[deliv],
+                        issued_at[deliv],
+                        attempts[deliv],
+                        difficulties[deliv],
+                        scores[deliv],
+                    ),
+                )
+            failed = np.zeros(pos.size, dtype=bool)
+            failed[np.nonzero(lost)[0]] = True
+            failed[np.nonzero(~lost)[0][accepted:]] = True
+            if not failed.any():
+                continue
+            f_pos = pos[failed]
+            f_att = attempt[f_pos]
+            can = f_att < 1 + profile.max_retries
+            stats.retries += int(can.sum())
+            give_up = f_pos[~can]
+            if give_up.size:
+                stats.solution_give_ups += int(give_up.size)
+                self._touch(when)
+                self._buffers.record(
+                    class_names,
+                    class_ids[idx[give_up]],
+                    ResponseStatus.ABANDONED,
+                    np.maximum(0.0, when - ts[idx[give_up]]),
+                    scores[give_up],
+                    difficulties[give_up],
+                    attempts[give_up],
+                )
+            retry = f_pos[can]
+            if retry.size:
+                retry_at = when + profile.backoff * 2.0 ** (
+                    attempt[retry].astype(np.float64) - 1.0
+                )
+                self._push_grouped(
+                    retry_at,
+                    "xmitsol",
+                    (
+                        idx[retry],
+                        issued_at[retry],
+                        attempts[retry],
+                        difficulties[retry],
+                        scores[retry],
+                        attempt[retry] + 1,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
     # Closed loop
     # ------------------------------------------------------------------
     def run_sessions(self, sessions, until: float | None = None):
@@ -978,6 +1281,15 @@ class FastSimulation:
         sessions = list(sessions)
         if not sessions:
             raise ValueError("need at least one session")
+        if self.links is not None and not self.links.delay_only:
+            # Closed-loop exchanges have no request identity to key
+            # loss hashes on and no give-up semantics; only the
+            # propagation-delay part of a link is defined here.
+            raise ValueError(
+                "closed-loop runs support delay-only link profiles; "
+                "lossy or bandwidth-capped links need the open-loop "
+                "engines (run/run_fires)"
+            )
         # The callback closed-loop server model has no load signal, so
         # the fast engine must not feed one either.
         self._reset(observe_load=False)
@@ -1007,6 +1319,17 @@ class FastSimulation:
                     profile.name,
                     session.client.true_score,
                 )
+
+        base = np.zeros(m)
+        if self.links is not None:
+            import ipaddress
+
+            packed = np.array(
+                [int(ipaddress.ip_address(s.client.ip)) for s in sessions],
+                dtype=np.int64,
+            )
+            qids = self.links.queue_ids(class_names)[cids]
+            base = self.links.base_delays(packed, qids)
 
         mode = self._admission_mode()
         scores = None
@@ -1043,7 +1366,7 @@ class FastSimulation:
 
         # First exchange of every session.
         begin = start.copy()
-        arrive = begin + self._delays(m)
+        arrive = begin + self._delays(m) + base
         remaining = exchanges.copy()
         self._push_grouped(
             arrive,
@@ -1077,7 +1400,7 @@ class FastSimulation:
                             requests(idx, begin_ts),
                             now=[float(t) for t in issue],
                         )
-                    receipt = issue + self._delays(k)
+                    receipt = issue + self._delays(k) + base[idx]
                     self.events_processed += k
                     attempts = sample_attempts_array(difficulties, self.rng)
                     seconds = attempts / rate[idx]
@@ -1102,6 +1425,7 @@ class FastSimulation:
                             attempts[abandoned],
                             think,
                             until,
+                            base,
                         )
                     solving = ~abandoned
                     if solving.any():
@@ -1109,6 +1433,7 @@ class FastSimulation:
                             receipt[solving]
                             + seconds[solving]
                             + self._delays(int(solving.sum()))
+                            + base[idx[solving]]
                         )
                         self._push_grouped(
                             submit,
@@ -1131,7 +1456,7 @@ class FastSimulation:
                         model.verify_cost + model.resource_cost,
                         k,
                     )
-                    finish = dones + self._delays(k)
+                    finish = dones + self._delays(k) + base[idx]
                     completed += self._finish_sessions(
                         when,
                         class_names,
@@ -1146,6 +1471,7 @@ class FastSimulation:
                         attempts,
                         think,
                         until,
+                        base,
                     )
 
         duration = until if until is not None else self._now
@@ -1171,6 +1497,7 @@ class FastSimulation:
         attempts: np.ndarray,
         think: np.ndarray,
         until: float | None,
+        base: np.ndarray,
     ) -> int:
         out = self._mask_until(
             until, finish, idx, begin_ts, rem, scores, difficulties, attempts
@@ -1195,7 +1522,11 @@ class FastSimulation:
                 0.0,
             )
             next_begin = finish[again] + pauses
-            arrive = next_begin + self._delays(int(again.sum()))
+            arrive = (
+                next_begin
+                + self._delays(int(again.sum()))
+                + base[idx[again]]
+            )
             self._push_grouped(
                 arrive,
                 "cl_arrive",
@@ -1229,15 +1560,17 @@ class FastSimulation:
         boundaries = np.nonzero(np.diff(keyed))[0] + 1
         starts = np.concatenate([[0], boundaries])
         ends = np.concatenate([boundaries, [times.size]])
-        if kind == "solve" or kind.startswith("cl_"):
+        if kind == "arrive":
+            # The only single-column event kind; everything else
+            # ("solve", "xmit*", "cl_*") carries a tuple payload.
+            for lo, hi in zip(starts, ends):
+                self._queue.push(float(times[lo]), (kind, payload[0][lo:hi]))
+        else:
             for lo, hi in zip(starts, ends):
                 self._queue.push(
                     float(times[lo]),
                     (kind, tuple(col[lo:hi] for col in payload)),
                 )
-        else:
-            for lo, hi in zip(starts, ends):
-                self._queue.push(float(times[lo]), (kind, payload[0][lo:hi]))
 
     @staticmethod
     def _per_class(

@@ -14,6 +14,12 @@ Poisson schedules use the conditional-uniform construction: the number
 of arrivals in a window is Poisson(rate x window), and given the count
 the arrival instants are i.i.d. uniform over the window — which
 vectorises to two numpy draws instead of a per-event exponential walk.
+
+Fire times are *send* instants at the client.  What the server sees is
+shaped downstream: channel delay always, and — when the campaign's
+``ScaleSpec.links`` assigns the population an access-network profile
+(:mod:`repro.net.sim.links`) — per-agent RTT, loss-and-retry
+reshaping, and shared-uplink queueing on top.
 """
 
 from __future__ import annotations

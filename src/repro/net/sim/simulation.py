@@ -53,6 +53,7 @@ from repro.metrics.timeseries import TimelineCollector
 from repro.policies.adaptive import LoadAdaptivePolicy
 from repro.net.sim.channel import Channel, FixedDelayChannel
 from repro.net.sim.engine import EventEngine
+from repro.net.sim.links import LinkSet, LinkStats
 from repro.net.sim.solvetime import SolveTimeModel
 from repro.traffic.trace import Trace, TraceEntry
 
@@ -84,12 +85,19 @@ class ServerModel:
 
 @dataclasses.dataclass
 class SimulationReport:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``link_stats`` carries the network-layer outcome counters of a
+    link-enabled run (:class:`~repro.net.sim.links.LinkStats`) and is
+    ``None`` on ideal-network runs.  Requests the network swallowed
+    before admission appear only there — they never reach the metrics.
+    """
 
     metrics: MetricsCollector
     duration: float
     requests: int
     events_processed: int
+    link_stats: LinkStats | None = None
 
     @property
     def served(self) -> int:
@@ -154,6 +162,13 @@ class Simulation:
         The callback engine remains the reference implementation and
         is required for ``timeline`` collection (it emits per-response
         events).
+    links:
+        Optional :class:`~repro.net.sim.links.LinkSet` assigning
+        per-population access links (per-agent RTT, loss, shared
+        bandwidth, retries) on top of the channel.  Both engines drive
+        the same link kernels, so decision parity holds under links
+        exactly as documented in DESIGN.md §1.6; network-layer
+        outcomes land in :attr:`SimulationReport.link_stats`.
     """
 
     def __init__(
@@ -170,6 +185,7 @@ class Simulation:
         load_reference: float = 0.1,
         recorder=None,
         engine: str = "callback",
+        links: LinkSet | None = None,
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
@@ -199,6 +215,11 @@ class Simulation:
         self.timeline = timeline
         self.load_reference = load_reference
         self.recorder = recorder
+        self.links = links
+        self._link_session = links.session() if links is not None else None
+        self._link_cache: dict[tuple[str, str], tuple[int, float]] = {}
+        self._entry_rids: dict[int, int] = {}
+        self._next_rid = 0
         self._fast = None
         if engine == "fast":
             from repro.net.sim.fastsim import FastSimulation
@@ -216,6 +237,7 @@ class Simulation:
                 patiences=self.patiences,
                 load_reference=load_reference,
                 recorder=recorder,
+                links=links,
             )
         elif recorder is not None:
             recorder.attach(framework.events)
@@ -252,7 +274,40 @@ class Simulation:
         return self._server_busy_until
 
     def _delay(self) -> float:
-        return self.channel.one_way_delay(self.rng)
+        # Channel contract backstop: a negative delay would schedule
+        # an event before its cause.
+        return max(0.0, self.channel.one_way_delay(self.rng))
+
+    def _link_of(self, profile: str, ip: str) -> tuple[int, float]:
+        """``(queue_id, base_delay)`` of one client under :attr:`links`.
+
+        Calls the same vectorized hash kernels as the fast engine on
+        one-element arrays, so the scalar reference's delays are
+        bit-identical to the SoA path's by construction.
+        """
+        if self.links is None:
+            return -1, 0.0
+        key = (profile, ip)
+        hit = self._link_cache.get(key)
+        if hit is None:
+            import ipaddress
+
+            import numpy as np
+
+            qid = int(self.links.queue_ids([profile])[0])
+            base = 0.0
+            if qid >= 0:
+                base = float(
+                    self.links.base_delays(
+                        np.array(
+                            [int(ipaddress.ip_address(ip))], dtype=np.int64
+                        ),
+                        np.array([qid], dtype=np.int64),
+                    )[0]
+                )
+            hit = (qid, base)
+            self._link_cache[key] = hit
+        return hit
 
     def _finish(
         self,
@@ -300,10 +355,123 @@ class Simulation:
                 entry.request.client_ip, entry.profile, entry.true_score
             )
         self._requests += 1
+        rid = self._next_rid
+        self._next_rid += 1
+        qid, _ = self._link_of(entry.profile, entry.request.client_ip)
+        if qid < 0:
+            self.engine.schedule_at(
+                entry.request.timestamp + self._delay(),
+                lambda: self._on_server_receive(entry),
+            )
+            return
+        # Linked clients enter their uplink at the submit instant; the
+        # crossing (loss, queueing, retries) decides when — and
+        # whether — the request arrives.  The loss hash is keyed on
+        # the submission index, which matches the fast engine's
+        # request index for the same workload.
+        self._entry_rids[id(entry)] = rid
         self.engine.schedule_at(
-            entry.request.timestamp + self._delay(),
-            lambda: self._on_server_receive(entry),
+            entry.request.timestamp,
+            lambda: self._transmit_request(entry, rid, 1),
         )
+
+    def _transmit_request(
+        self, entry: TraceEntry, rid: int, attempt: int
+    ) -> None:
+        """One request-leg uplink crossing (scalar mirror of the SoA path).
+
+        Give-ups are counted in :attr:`SimulationReport.link_stats`
+        only — the request was never admitted, so there is no decision
+        to aggregate.  A retry that would start past the client's
+        patience window gives up instead.
+        """
+        now = self.engine.now
+        qid, base = self._link_of(entry.profile, entry.request.client_ip)
+        profile = self.links.profile_of_queue(qid)
+        session = self._link_session
+        stats = session.stats
+        stats.crossings += 1
+        lost = bool(
+            self.links.crossing_lost(
+                [rid], [attempt], leg=0, loss_rate=profile.loss_rate
+            )[0]
+        )
+        if lost:
+            stats.lost += 1
+        else:
+            exits, accepted = session.cross(qid, now, 1)
+            if accepted:
+                self.engine.schedule_at(
+                    float(exits[0]) + base + self._delay(),
+                    lambda: self._on_server_receive(entry),
+                )
+                return
+            stats.queue_dropped += 1
+        retry_at = now + profile.backoff * 2.0 ** (attempt - 1)
+        patience = self.patiences.get(entry.profile, 30.0)
+        if attempt < 1 + profile.max_retries and (
+            retry_at - entry.request.timestamp
+        ) <= patience:
+            stats.retries += 1
+            self.engine.schedule_at(
+                retry_at,
+                lambda: self._transmit_request(entry, rid, attempt + 1),
+            )
+        else:
+            stats.request_give_ups += 1
+
+    def _transmit_solution(
+        self,
+        entry: TraceEntry,
+        challenge: Challenge,
+        attempts: int,
+        rid: int,
+        attempt: int,
+    ) -> None:
+        """One solution-leg uplink crossing.
+
+        The client already sank the solving work, so it retries until
+        ``max_retries`` regardless of patience (TTL expiry punishes
+        lateness); a final give-up is recorded as ABANDONED — the
+        puzzle was issued and solved, so the decision exists.
+        """
+        now = self.engine.now
+        qid, base = self._link_of(entry.profile, entry.request.client_ip)
+        profile = self.links.profile_of_queue(qid)
+        session = self._link_session
+        stats = session.stats
+        stats.crossings += 1
+        lost = bool(
+            self.links.crossing_lost(
+                [rid], [attempt], leg=1, loss_rate=profile.loss_rate
+            )[0]
+        )
+        if lost:
+            stats.lost += 1
+        else:
+            exits, accepted = session.cross(qid, now, 1)
+            if accepted:
+                self.engine.schedule_at(
+                    float(exits[0]) + base + self._delay(),
+                    lambda: self._on_server_receive_solution(
+                        challenge, attempts
+                    ),
+                )
+                return
+            stats.queue_dropped += 1
+        if attempt < 1 + profile.max_retries:
+            stats.retries += 1
+            self.engine.schedule_at(
+                now + profile.backoff * 2.0 ** (attempt - 1),
+                lambda: self._transmit_solution(
+                    entry, challenge, attempts, rid, attempt + 1
+                ),
+            )
+        else:
+            stats.solution_give_ups += 1
+            self._finish(
+                challenge, ResponseStatus.ABANDONED, now, attempts=attempts
+            )
 
     def _on_server_receive(self, entry: TraceEntry) -> None:
         # Coalesce every arrival sharing this simulated instant into one
@@ -340,9 +508,15 @@ class Simulation:
                 for _ in batch
             ]
             challenges = self.framework.challenge_batch(requests, now=now)
-            for done, challenge in zip(dones, challenges):
+            for entry, done, challenge in zip(batch, dones, challenges):
+                # Server->client legs add the client's link propagation
+                # delay but are modelled lossless (the uplink is the
+                # constrained direction).
+                _, base = self._link_of(
+                    entry.profile, entry.request.client_ip
+                )
                 self.engine.schedule_at(
-                    done + self._delay(),
+                    done + self._delay() + base,
                     lambda c=challenge: self._finish(
                         c, ResponseStatus.SERVED, self.engine.now
                     ),
@@ -357,8 +531,9 @@ class Simulation:
             requests, now=issue_times
         )
         for entry, issue_at, challenge in zip(batch, issue_times, challenges):
+            _, base = self._link_of(entry.profile, entry.request.client_ip)
             self.engine.schedule_at(
-                issue_at + self._delay(),
+                issue_at + self._delay() + base,
                 lambda e=entry, c=challenge: self._on_client_receive_puzzle(
                     e, c
                 ),
@@ -398,6 +573,18 @@ class Simulation:
             return
 
         self._cpu_free_at[ip] = solve_end
+        qid, _ = self._link_of(profile, ip)
+        if qid >= 0:
+            # The solution enters the uplink the instant solving ends;
+            # the crossing decides the submit time.
+            rid = self._entry_rids[id(entry)]
+            self.engine.schedule_at(
+                solve_end,
+                lambda: self._transmit_solution(
+                    entry, challenge, sample.attempts, rid, 1
+                ),
+            )
+            return
         self.engine.schedule_at(
             solve_end + self._delay(),
             lambda: self._on_server_receive_solution(
@@ -419,8 +606,10 @@ class Simulation:
         status = (
             ResponseStatus.EXPIRED if expired else ResponseStatus.SERVED
         )
+        ip = challenge.decision.request.client_ip
+        _, base = self._link_of(self._profiles.get(ip, ""), ip)
         self.engine.schedule_at(
-            done + self._delay(),
+            done + self._delay() + base,
             lambda: self._finish(challenge, status, self.engine.now, attempts),
         )
 
@@ -444,4 +633,7 @@ class Simulation:
             duration=self.engine.now,
             requests=self._requests,
             events_processed=self.engine.processed_count,
+            link_stats=(
+                self._link_session.stats if self._link_session else None
+            ),
         )

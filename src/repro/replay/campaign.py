@@ -33,6 +33,7 @@ from repro.core.errors import ComponentNotFoundError
 from repro.core.framework import AIPoWFramework
 from repro.core.records import ClientRequest
 from repro.core.spec import FrameworkSpec
+from repro.net.sim.links import LINK_PROFILES
 from repro.net.sim.simulation import Simulation
 from repro.pow.solver import HashSolver
 from repro.replay.recorder import TraceRecorder, spec_hash
@@ -118,6 +119,15 @@ class ScaleSpec:
         Thread a :class:`~repro.net.sim.fastsim.FastFeedback` offset
         table through scoring — the batch port of behavioural
         feedback, for reward-farming scenarios.
+    links:
+        ``profile_name -> link profile name`` mapping assigning each
+        population an access-network profile from
+        :data:`~repro.net.sim.links.LINK_PROFILES` (per-agent RTT,
+        loss, shared bandwidth, retries).  Profiles without an entry
+        keep the ideal channel-only path.  Two populations naming the
+        *same* link profile share one uplink queue — the
+        shared-bottleneck case where an attack's volume congests
+        benign clients and its own solution submissions.
     """
 
     tick: float = 0.005
@@ -126,10 +136,18 @@ class ScaleSpec:
     )
     server: tuple[float, float, float] | None = None
     feedback: bool = False
+    links: Mapping[str, str] = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
             raise ValueError(f"tick must be > 0, got {self.tick}")
+        for profile_name, link_name in self.links.items():
+            if link_name not in LINK_PROFILES:
+                raise ValueError(
+                    f"unknown link profile {link_name!r} for profile "
+                    f"{profile_name!r} (catalogue: "
+                    f"{', '.join(sorted(LINK_PROFILES))})"
+                )
         for profile_name, pattern in self.patterns.items():
             kind = pattern.get("kind", "poisson")
             if kind not in _PATTERN_PARAMS:
@@ -226,6 +244,14 @@ class CampaignSpec:
                     raise ValueError(
                         f"pattern profile {pattern_profile!r} matches no "
                         f"population (have: {sorted(population_names)})"
+                    )
+            for link_profile in self.scale.links:
+                if link_profile not in population_names:
+                    raise ValueError(
+                        f"link profile assignment {link_profile!r} "
+                        f"matches no population (have: "
+                        f"{sorted(population_names)}) — a typo here "
+                        "would silently run on an ideal network"
                     )
             if self.protocol_probe is not None:
                 raise ValueError(
@@ -436,6 +462,60 @@ CAMPAIGNS: dict[str, CampaignSpec] = {
                 },
                 server=(1e-5, 5e-6, 5e-5),
                 feedback=True,
+            ),
+        ),
+        # ------------------------------------------------------------
+        # Lossy-network scenarios (scale campaigns + link substrate).
+        # ------------------------------------------------------------
+        CampaignSpec(
+            name="mobile-flash-crowd",
+            description="10k mobile users flash-crowd through a lossy "
+            "high-RTT access network — retries and loss reshape the "
+            "arrival process before admission ever sees it",
+            duration=4.0,
+            seed=715,
+            populations=(("benign", 10_000),),
+            scale=ScaleSpec(
+                tick=0.005,
+                patterns={
+                    "benign": {
+                        "kind": "flash",
+                        "waves": 2,
+                        "wave_gap": 1.5,
+                        "jitter": 0.2,
+                    }
+                },
+                server=(1e-5, 5e-6, 5e-5),
+                links={"benign": "lossy-mobile"},
+            ),
+        ),
+        CampaignSpec(
+            name="congestion-coupled-flood",
+            description="a pulsing botnet shares one bandwidth-capped "
+            "uplink with benign users — the flood congests the victims "
+            "*and* the bots' own solution submissions",
+            spec=FrameworkSpec(policy="policy-1", feedback=False),
+            duration=3.0,
+            seed=716,
+            populations=(("benign", 20_000), ("malicious", 40_000)),
+            attackers={"malicious": {"kind": "botnet", "max_difficulty": 16}},
+            scale=ScaleSpec(
+                tick=0.005,
+                patterns={
+                    "malicious": {
+                        "kind": "pulse",
+                        "rate": 3.0,
+                        "on_seconds": 0.5,
+                        "off_seconds": 1.0,
+                    }
+                },
+                server=(1e-5, 5e-6, 5e-5),
+                # Same link profile name on both populations = one
+                # shared uplink queue (see ScaleSpec.links).
+                links={
+                    "benign": "congested-uplink",
+                    "malicious": "congested-uplink",
+                },
             ),
         ),
     )
@@ -656,6 +736,11 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
     server_model = (
         ServerModel(*scale.server) if scale.server is not None else None
     )
+    links = None
+    if scale.links:
+        from repro.net.sim.links import LinkSet
+
+        links = LinkSet(scale.links, seed=campaign.seed ^ 0x11AB)
     simulation = FastSimulation(
         framework,
         server_model=server_model,
@@ -664,6 +749,7 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
         hash_rates={p.name: p.hash_rate for p in population.profiles},
         patiences={p.name: p.patience for p in population.profiles},
         tick=scale.tick,
+        links=links,
     )
     feedback = (
         FastFeedback(len(population)) if scale.feedback else None
@@ -698,6 +784,8 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
         f"tick {scale.tick:g}s",
         f"framework recipe hash {spec_hash(campaign.spec)}",
     ]
+    if report.link_stats is not None:
+        notes.append(f"network: {report.link_stats.summary()}")
     if feedback is not None:
         # "Farming" means the *attackers* earning reward offsets;
         # benign clients accumulate them too simply by being served,
@@ -730,6 +818,11 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
             "events": report.events_processed,
             "wall_seconds": wall,
             "events_per_second": events_per_second,
+            **(
+                {"link_stats": report.link_stats.as_dict()}
+                if report.link_stats is not None
+                else {}
+            ),
         },
     )
     return CampaignRun(

@@ -59,6 +59,89 @@ class TestChannels:
             LognormalChannel(median=0.0)
 
 
+class TestChannelContract:
+    """The documented ``Channel`` contract (see channel.py docstring).
+
+    Every shipped channel's batch hook must return float64 of shape
+    ``(count,)`` with finite non-negative values — link composition
+    adds these to hash-derived float64 link delays, and a narrower
+    dtype would make the scalar and vectorized engines round
+    differently.
+    """
+
+    CHANNELS = (
+        FixedDelayChannel(0.005),
+        FixedDelayChannel(0.0),  # zero delay is legal, not clamped away
+        UniformJitterChannel(base=0.01, jitter=0.005),
+        LognormalChannel(median=0.01, sigma=0.5),
+    )
+
+    @pytest.mark.parametrize(
+        "channel", CHANNELS, ids=lambda c: type(c).__name__
+    )
+    def test_delay_array_dtype_and_shape(self, channel):
+        import numpy as np
+
+        for count in (0, 1, 257):
+            delays = channel.delay_array(
+                np.random.default_rng(11), count
+            )
+            assert delays.shape == (count,)
+            assert delays.dtype == np.float64
+
+    @pytest.mark.parametrize(
+        "channel", CHANNELS, ids=lambda c: type(c).__name__
+    )
+    def test_delays_finite_and_non_negative(self, channel):
+        import numpy as np
+
+        delays = channel.delay_array(np.random.default_rng(12), 2000)
+        assert np.all(np.isfinite(delays))
+        assert np.all(delays >= 0.0)
+        rng = random.Random(12)
+        scalars = [channel.one_way_delay(rng) for _ in range(200)]
+        assert all(0.0 <= d < float("inf") for d in scalars)
+
+    def test_engines_clamp_negative_delays_at_zero(self):
+        """A misbehaving third-party channel cannot schedule the past.
+
+        Both engines clamp every drawn delay at zero (the documented
+        backstop), so a negative-delay channel degrades to zero delay
+        instead of corrupting the event order.
+        """
+        import numpy as np
+
+        from repro.core.framework import AIPoWFramework
+        from repro.net.sim.fastsim import FastSimulation
+        from repro.net.sim.simulation import Simulation
+        from repro.policies.table import FixedPolicy
+        from repro.reputation.ensemble import ConstantModel
+        from repro.traffic.generator import WorkloadGenerator
+        from repro.traffic.profiles import BENIGN_PROFILE
+
+        class NegativeDelayChannel:
+            def one_way_delay(self, rng):
+                return -0.5
+
+            def delay_array(self, rng, count):
+                return np.full(count, -0.5, dtype=np.float64)
+
+        workload, _ = WorkloadGenerator(seed=13).mixed_trace(
+            [(BENIGN_PROFILE, 20)], duration=3.0
+        )
+        assert workload, "clamp test needs a non-empty workload"
+        for engine in ("callback", "fast"):
+            report = Simulation(
+                AIPoWFramework(ConstantModel(0.0), FixedPolicy(1)),
+                channel=NegativeDelayChannel(),
+                seed=6,
+                engine=engine,
+            ).run(workload)
+            served = report.metrics.overall
+            assert served.total == len(workload)
+            assert served.latencies.min() >= 0.0
+
+
 class TestSolveTimeModel:
     def test_default_hash_rate_from_timing(self):
         timing = TimingConfig(seconds_per_attempt=1e-5)

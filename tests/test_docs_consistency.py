@@ -56,13 +56,90 @@ class TestReadme:
                 f"README mentions unknown subcommand {command!r}"
             )
 
+    def test_scenario_table_matches_registered_campaigns(self):
+        """Every scenario the README tables name must be registered.
+
+        The scenario table's first column holds backticked scenario
+        names (sometimes several per row, slash-separated); each must
+        resolve in the campaign registry, and every registered
+        campaign must appear somewhere in the README.
+        """
+        from repro.replay.campaign import CAMPAIGNS
+
+        readme = read("README.md")
+        documented = set()
+        for row in re.findall(r"^\| ([^|]*`[^|]+) \|", readme, re.M):
+            documented.update(re.findall(r"`([\w-]+)`", row))
+        table_scenarios = documented & set(CAMPAIGNS)
+        assert len(table_scenarios) >= 10, (
+            "README scenario tables look truncated: only found "
+            f"{sorted(table_scenarios)}"
+        )
+        for name in CAMPAIGNS:
+            assert f"`{name}`" in readme, (
+                f"campaign {name!r} is registered but undocumented in "
+                "the README scenario tables"
+            )
+
+    def test_link_profile_table_matches_catalogue(self):
+        """The README link-profile table mirrors LINK_PROFILES."""
+        from repro.net.sim.links import LINK_PROFILES
+
+        readme = read("README.md")
+        section = readme.split("## Lossy-network campaigns", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        documented = set(
+            re.findall(r"^\| `([\w-]+)` \|", section, re.M)
+        )
+        assert documented == set(LINK_PROFILES), (
+            f"README link-profile table {sorted(documented)} != "
+            f"catalogue {sorted(LINK_PROFILES)}"
+        )
+
+    def test_campaign_cli_options_documented_and_real(self):
+        """README campaign flags exist on the argparse surface.
+
+        Introspects the real parser — a renamed or removed option
+        would silently strand the docs otherwise.
+        """
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        campaign = subparsers.choices["campaign"]
+        real_options = {
+            opt
+            for action in campaign._actions
+            for opt in action.option_strings
+        }
+        readme = read("README.md")
+        for flag in ("--link", "--list-links", "--record", "--list"):
+            assert flag in real_options, (
+                f"README documents campaign flag {flag} which the "
+                "parser does not define"
+            )
+            assert flag in readme, (
+                f"campaign flag {flag} is undocumented in the README"
+            )
+
 
 class TestDesignDoc:
     def test_experiment_ids_registered(self):
         from repro.bench.runner import EXPERIMENTS
 
         design = read("DESIGN.md")
-        promised = set(re.findall(r"\| `((?:fig|cal|acc|thr|abl|ons)[\w-]*)` \|", design))
+        promised = set(
+            re.findall(
+                r"\| `((?:fig|cal|acc|thr|abl|ons|mega|net)[\w-]*)` \|",
+                design,
+            )
+        )
         assert promised, "DESIGN.md should promise experiment ids"
         for experiment_id in promised:
             assert experiment_id in EXPERIMENTS, (
