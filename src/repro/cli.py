@@ -22,6 +22,8 @@ interactive modes:
 * ``campaign``  — run a named adversarial scenario spec (optionally
   recording its golden trace; large-scale scenarios run on the
   vectorized engine and record no trace);
+* ``trace``     — render a sampled-span dump (from ``serve --trace-out``
+  or ``campaign --trace-out``) as a per-stage waterfall;
 * ``profile``   — run any registered experiment under cProfile and
   print the top cumulative hotspots;
 * ``all``       — every experiment, in DESIGN.md order.
@@ -120,6 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", default=None, metavar="FILE",
         help="capture every admission decision into a replayable v2 "
              "trace, written to FILE at graceful shutdown",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text), /healthz and /summary "
+             "on this port (0 picks a free port; any serve mode)",
+    )
+    serve.add_argument(
+        "--metrics-snapshots", default=None, metavar="FILE",
+        help="append a timestamped registry snapshot to FILE (JSONL) "
+             "every second while serving",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="sample request spans and dump them to FILE (JSONL) at "
+             "graceful shutdown; render with `repro trace FILE`",
+    )
+    serve.add_argument(
+        "--trace-every", type=int, default=100, metavar="N",
+        help="with --trace-out: sample every Nth request (default 100)",
     )
 
     state = sub.add_parser(
@@ -230,6 +251,32 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--list-links", action="store_true",
         help="list available link profiles and exit",
+    )
+    campaign.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="sample request spans during the run and dump them to "
+             "FILE (callback campaigns only; render with `repro trace`)",
+    )
+    campaign.add_argument(
+        "--trace-every", type=int, default=1, metavar="N",
+        help="with --trace-out: sample every Nth request (default 1)",
+    )
+    campaign.add_argument(
+        "--metrics-snapshots", default=None, metavar="FILE",
+        help="write periodic registry snapshots (phase timings, link "
+             "counters) to FILE during a large-scale campaign",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a sampled-span dump as a per-stage waterfall",
+    )
+    trace.add_argument(
+        "file", help="spans JSONL written by --trace-out"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="spans to render before summarising the rest (default 20)",
     )
 
     profile = sub.add_parser(
@@ -404,6 +451,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.state_dir and args.workers == 1 and not args.gateway:
         print("--state-dir requires --gateway or --workers > 1")
         return 2
+    if args.trace_every < 1:
+        print(f"--trace-every must be >= 1, got {args.trace_every}")
+        return 2
+    if (
+        args.metrics_snapshots
+        and args.workers > 1
+        and args.metrics_port is None
+    ):
+        # Workers only publish registry snapshots to the parent when an
+        # endpoint consumes them; the writer rides the same stream.
+        print("--metrics-snapshots with --workers > 1 requires "
+              "--metrics-port")
+        return 2
     spec = FrameworkSpec(policy=args.policy)
     recorder = None
     if args.record:
@@ -425,6 +485,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             recorder = TraceRecorder()
 
+    registry = None
+    tracer = None
     if args.workers > 1:
         from repro.net.gateway.cluster import GatewayCluster
 
@@ -439,6 +501,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shed_policy=args.shed_policy,
             state_dir=args.state_dir,
             record_path=args.record,
+            metrics_port=args.metrics_port,
+            trace_every=args.trace_every if args.trace_out else 0,
+            trace_path=args.trace_out,
         )
         mode = (
             f"{args.workers} gateway workers sharded by client-IP hash "
@@ -465,6 +530,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if snapshot is not None:
                 framework.restore(snapshot)
         metrics = GatewayMetrics()
+        registry = metrics.registry
+        if args.trace_out:
+            from repro.obs.tracing import RequestTracer
+
+            tracer = RequestTracer(
+                sample_every=args.trace_every, registry=registry
+            )
         server = GatewayServer(
             framework,
             host=args.host,
@@ -475,6 +547,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shed_policy=make_shed_policy(args.shed_policy),
             metrics=metrics,
             recorder=recorder,
+            tracer=tracer,
         )
         mode = (
             f"gateway (batch<={args.max_batch}, "
@@ -482,12 +555,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"queue<={args.queue_limit}, {args.shed_policy})"
         )
     else:
+        from repro.core.events import EventKind
         from repro.net.live.server import LiveServer
+        from repro.obs.registry import METRIC_CATALOG, MetricsRegistry
 
         metrics = None
         framework = spec.build()
         if recorder is not None:
             recorder.attach(framework.events)
+        registry = MetricsRegistry()
+        responses = registry.counter(
+            "pipeline_responses_total",
+            METRIC_CATALOG["pipeline_responses_total"],
+            labels=("status",),
+        )
+
+        def _count_response(event) -> None:
+            response = event.payload.get("response")
+            if response is not None:
+                responses.inc(status=response.status.value)
+
+        framework.events.subscribe(
+            _count_response, kinds=[EventKind.RESPONSE_SERVED]
+        )
+        if args.trace_out:
+            from repro.obs.tracing import RequestTracer
+
+            tracer = RequestTracer(
+                sample_every=args.trace_every, registry=registry
+            ).attach(framework.events)
         server = LiveServer(framework, host=args.host, port=args.port)
         mode = "thread-per-connection"
 
@@ -498,15 +594,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # e.g. a state directory split for a different worker count.
         print(exc)
         return 2
+    metrics_server = None
+    snapshot_writer = None
     try:
         host, port = server.address
         print(f"serving AI-assisted PoW on {host}:{port} "
               f"(policy {args.policy}, {mode}); Ctrl-C or SIGTERM to stop",
               flush=True)
+        metrics_url = None
+        if args.workers > 1:
+            metrics_url = server.metrics_url
+        elif args.metrics_port is not None:
+            from repro.obs.http import MetricsHTTPServer
+
+            metrics_server = MetricsHTTPServer(
+                registry.snapshot, host=args.host, port=args.metrics_port
+            ).start()
+            metrics_url = metrics_server.url
+        if metrics_url is not None:
+            print(f"metrics on {metrics_url}/metrics", flush=True)
+        if args.metrics_snapshots:
+            from repro.obs.http import SnapshotWriter
+
+            provider = (
+                server.metrics_snapshot
+                if args.workers > 1
+                else registry.snapshot
+            )
+            snapshot_writer = SnapshotWriter(
+                args.metrics_snapshots, provider
+            ).start()
         shutdown.wait()
         print("\nshutting down")
     finally:
         server.stop()
+        if metrics_server is not None:
+            metrics_server.close()
+        if snapshot_writer is not None:
+            snapshot_writer.close()
+            print(
+                f"{snapshot_writer.lines} metric snapshots -> "
+                f"{args.metrics_snapshots}"
+            )
     # The stop drained the server: queued admissions resolved as shed,
     # in-flight exchanges got their grace, workers exited 0.
     if args.workers > 1:
@@ -522,6 +651,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"recorded {len(server.recorded_trace)} decisions "
                 f"-> {args.record}"
+            )
+        if args.trace_out:
+            print(
+                f"{len(server.trace_spans)} sampled spans "
+                f"-> {args.trace_out}"
             )
         if any(code not in (0, None) for code in server.exit_codes):
             print(f"worker exit codes: {server.exit_codes}")
@@ -552,6 +686,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             },
         )
         print(f"recorded {len(recorder)} decisions -> {args.record}")
+    if tracer is not None and args.workers == 1:
+        tracer.dump(
+            args.trace_out,
+            meta={"recorder": "serve", "sample_every": args.trace_every},
+        )
+        print(f"{len(tracer)} sampled spans -> {args.trace_out}")
     return 0
 
 
@@ -864,8 +1004,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             # Unknown profile / population — the specs validate loudly.
             print(exc)
             return 2
+    tracer = None
+    if args.trace_out:
+        from repro.obs.tracing import RequestTracer
+
+        if args.trace_every < 1:
+            print(f"--trace-every must be >= 1, got {args.trace_every}")
+            return 2
+        tracer = RequestTracer(sample_every=args.trace_every)
     try:
-        run = run_campaign(campaign, record_path=args.record)
+        run = run_campaign(
+            campaign,
+            record_path=args.record,
+            tracer=tracer,
+            snapshot_path=args.metrics_snapshots,
+        )
     except ValueError as exc:
         # e.g. --record of a large-scale campaign (they aggregate
         # outcomes; the library owns that rule).
@@ -874,6 +1027,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(run.result.render())
     if args.record:
         print(f"\ngolden trace written to {args.record}")
+    if tracer is not None:
+        tracer.dump(
+            args.trace_out,
+            meta={
+                "recorder": "campaign",
+                "campaign": campaign.name,
+                "sample_every": args.trace_every,
+            },
+        )
+        print(f"{len(tracer)} sampled spans -> {args.trace_out}")
+    if args.metrics_snapshots and campaign.scale is not None:
+        print(f"metric snapshots -> {args.metrics_snapshots}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import load_spans, render_spans
+
+    try:
+        meta, spans = load_spans(args.file)
+    except OSError as exc:
+        print(exc)
+        return 2
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if not spans:
+        print(f"{args.file}: no spans recorded")
+        return 1
+    outcomes: dict[str, int] = {}
+    for span in spans:
+        outcome = span.get("outcome", "?")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    breakdown = ", ".join(
+        f"{count} {outcome}" for outcome, count in sorted(outcomes.items())
+    )
+    source = meta.get("recorder") or meta.get("campaign")
+    origin = f" from {source}" if source else ""
+    print(f"{len(spans)} sampled spans{origin} ({breakdown})")
+    print()
+    print(render_spans(spans, limit=args.limit))
     return 0
 
 
@@ -955,6 +1149,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "replay": _cmd_replay,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
     "profile": _cmd_profile,
     "scenario": _cmd_scenario,
     "export": _cmd_export,

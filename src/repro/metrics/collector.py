@@ -130,6 +130,13 @@ class MetricsCollector:
         return self._class(key)
 
 
+#: Bucket bounds for the gateway's size/depth distributions — powers of
+#: two up to the default queue limit, matching how batches actually
+#: cluster (the exact-mode series retains raw samples regardless, so
+#: summary statistics never depend on the bucketing).
+_GATEWAY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
 class GatewayMetrics:
     """Serving-tier measurements for the admission gateway.
 
@@ -137,14 +144,64 @@ class GatewayMetrics:
     shed decision (:meth:`observe_shed`); alternatively
     :meth:`attach` subscribes the shed side to ``REQUEST_SHED`` events
     so any bus observer sees the same stream the metrics do.
+
+    Backed by :class:`~repro.obs.registry.MetricsRegistry` instruments
+    (``gateway_admitted_total``, ``gateway_shed_total{reason}``,
+    ``gateway_flushes_total``, ``gateway_batch_size``,
+    ``gateway_queue_depth``) so one ``/metrics`` scrape sees the same
+    numbers :meth:`summary` ships; pass a shared ``registry`` to expose
+    them, or omit it for a private one (isolated, as before).  The
+    size/depth series run in exact mode, so :meth:`summary` output is
+    bit-identical to the retained-sample implementation it replaced.
     """
 
-    def __init__(self) -> None:
-        self.batch_sizes = SampleSet()
-        self.queue_depths = SampleSet()
-        self.shed_reasons: dict[str, int] = {}
-        self.admitted_count = 0
-        self.shed_count = 0
+    def __init__(self, registry=None) -> None:
+        from repro.obs.registry import METRIC_CATALOG, MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._admitted = registry.counter(
+            "gateway_admitted_total",
+            METRIC_CATALOG["gateway_admitted_total"],
+        )
+        self._shed = registry.counter(
+            "gateway_shed_total",
+            METRIC_CATALOG["gateway_shed_total"],
+            labels=("reason",),
+        )
+        self._flushes = registry.counter(
+            "gateway_flushes_total",
+            METRIC_CATALOG["gateway_flushes_total"],
+        )
+        self.batch_sizes = registry.histogram(
+            "gateway_batch_size",
+            METRIC_CATALOG["gateway_batch_size"],
+            buckets=_GATEWAY_BUCKETS,
+            exact=True,
+        ).labels()
+        self.queue_depths = registry.histogram(
+            "gateway_queue_depth",
+            METRIC_CATALOG["gateway_queue_depth"],
+            buckets=_GATEWAY_BUCKETS,
+            exact=True,
+        ).labels()
+
+    @property
+    def admitted_count(self) -> int:
+        return int(self._admitted.value())
+
+    @property
+    def shed_count(self) -> int:
+        return int(self._shed.total())
+
+    @property
+    def shed_reasons(self) -> dict[str, int]:
+        """Shed counts by reason (a copy; mutate via :meth:`observe_shed`)."""
+        return {
+            reason: int(count)
+            for reason, count in self._shed.as_dict().items()
+        }
 
     def attach(self, bus: EventBus) -> "GatewayMetrics":
         """Subscribe to REQUEST_SHED events on ``bus``; returns self."""
@@ -174,14 +231,14 @@ class GatewayMetrics:
         """
         self.batch_sizes.add(batch_size)
         self.queue_depths.add(queue_depth)
-        self.admitted_count += batch_size if admitted is None else admitted
+        self._flushes.inc()
+        self._admitted.inc(batch_size if admitted is None else admitted)
 
     def observe_shed(
         self, reason: str, queue_depth: int | float | None = None
     ) -> None:
         """Record one shed request (optionally with the depth seen)."""
-        self.shed_count += 1
-        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        self._shed.inc(reason=reason)
         if queue_depth is not None:
             self.queue_depths.add(float(queue_depth))
 

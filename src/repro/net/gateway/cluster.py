@@ -75,6 +75,12 @@ _READY = b"READY"
 _CONN = b"C"
 _QUIT = b"QUIT"
 _METRICS = b"M"
+_SNAP = b"S"
+_SPANS = b"T"
+
+#: Spans shipped per control-channel message at shutdown; bounds each
+#: SEQPACKET message well under the socket buffer (a span is ~1 kB).
+_SPAN_CHUNK = 100
 
 
 def make_shed_policy(name: str):
@@ -102,13 +108,17 @@ class ShardWorker:
         ctrl: socket.socket,
         options: dict,
     ) -> None:
+        from repro.obs.registry import MetricsRegistry
+
         self.spec = spec
         self.shard = shard
         self.shards = shards
         self.ctrl = ctrl
         self.options = options
         self.gateway: GatewayServer | None = None
-        self.metrics = GatewayMetrics()
+        self.registry = MetricsRegistry()
+        self.metrics = GatewayMetrics(registry=self.registry)
+        self.tracer = None
 
     # -- lifecycle -----------------------------------------------------
     def run(self) -> int:
@@ -126,6 +136,15 @@ class ShardWorker:
             from repro.replay.recorder import TraceRecorder
 
             recorder = TraceRecorder(id_prefix=f"w{self.shard}")
+        trace_every = int(self.options.get("trace_every") or 0)
+        if trace_every > 0:
+            from repro.obs.tracing import RequestTracer
+
+            self.tracer = RequestTracer(
+                sample_every=trace_every,
+                id_prefix=f"w{self.shard}",
+                registry=self.registry,
+            )
         self.gateway = GatewayServer(
             framework,
             max_batch=self.options.get("max_batch", 64),
@@ -137,6 +156,7 @@ class ShardWorker:
             io_timeout=self.options.get("io_timeout", 30.0),
             metrics=self.metrics,
             recorder=recorder,
+            tracer=self.tracer,
         )
         try:
             self.ctrl.sendall(_READY)
@@ -175,13 +195,42 @@ class ShardWorker:
         self.ctrl.setblocking(False)
         self.gateway.batcher.start()
         loop.add_reader(self.ctrl.fileno(), self._on_ctrl_readable, loop, stop)
+        publisher: asyncio.Task | None = None
+        publish_interval = float(self.options.get("publish_interval") or 0.0)
+        if publish_interval > 0:
+            publisher = loop.create_task(
+                self._publish_snapshots(publish_interval)
+            )
         try:
             await stop.wait()
         finally:
+            if publisher is not None:
+                publisher.cancel()
             loop.remove_reader(self.ctrl.fileno())
             await self.gateway.drain(
                 grace=self.options.get("drain_grace", 5.0)
             )
+
+    async def _publish_snapshots(self, interval: float) -> None:
+        """Ship registry snapshots to the parent on a fixed cadence.
+
+        The first snapshot goes out immediately so ``/metrics`` has
+        data as soon as the cluster reports ready.  Sends are
+        best-effort on the non-blocking control socket: a full buffer
+        (parent scraping slowly) just drops that snapshot — the next
+        interval carries the superseding one anyway.
+        """
+        while True:
+            payload = _SNAP + json.dumps(self.registry.snapshot()).encode(
+                "utf-8"
+            )
+            try:
+                self.ctrl.send(payload)
+            except (BlockingIOError, InterruptedError):
+                pass
+            except OSError:
+                return
+            await asyncio.sleep(interval)
 
     def _on_ctrl_readable(self, loop, stop: asyncio.Event) -> None:
         """Drain control messages: connection fds, QUIT, or parent EOF."""
@@ -225,6 +274,13 @@ class ShardWorker:
         summary["responses"] = len(self.gateway.responses)
         try:
             self.ctrl.setblocking(True)
+            if self.tracer is not None:
+                spans = self.tracer.drain()
+                for start in range(0, len(spans), _SPAN_CHUNK):
+                    chunk = spans[start:start + _SPAN_CHUNK]
+                    self.ctrl.sendall(
+                        _SPANS + json.dumps(chunk).encode("utf-8")
+                    )
             self.ctrl.sendall(_METRICS + json.dumps(summary).encode("utf-8"))
         except OSError:  # pragma: no cover - parent already gone
             pass
@@ -285,6 +341,26 @@ class GatewayCluster:
         would see.
     startup_timeout:
         Seconds to wait for every worker's READY handshake.
+    metrics_port:
+        When set (0 picks a free port), the parent serves ``/metrics``,
+        ``/healthz`` and ``/summary`` on ``metrics_host:metrics_port``:
+        workers publish registry snapshots over the control channel
+        every ``publish_interval`` seconds and the parent merges the
+        latest snapshot per shard into one cluster-wide view (see
+        :attr:`metrics_url`).
+    metrics_host:
+        Bind host for the introspection endpoint.
+    publish_interval:
+        Seconds between worker snapshot publications (only active when
+        ``metrics_port`` is set).
+    trace_every:
+        Sample every Nth request into a structured span per worker
+        (0 disables tracing).  Workers ship their spans to the parent
+        at graceful shutdown; the merged list lands in
+        :attr:`trace_spans` and — when ``trace_path`` is set — in a
+        spans JSONL file readable by ``repro trace``.
+    trace_path:
+        Destination file for the merged span dump.
     """
 
     def __init__(
@@ -305,9 +381,16 @@ class GatewayCluster:
         replicas: int = 64,
         start_method: str = "spawn",
         startup_timeout: float = 120.0,
+        metrics_port: int | None = None,
+        metrics_host: str = "127.0.0.1",
+        publish_interval: float = 0.5,
+        trace_every: int = 0,
+        trace_path=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if trace_every < 0:
+            raise ValueError(f"trace_every must be >= 0, got {trace_every}")
         make_shed_policy(shed_policy)  # validate the name up front
         self.spec = spec
         self.workers = workers
@@ -326,17 +409,34 @@ class GatewayCluster:
             "state_dir": os.fspath(state_dir) if state_dir else None,
             "record_path": os.fspath(record_path) if record_path else None,
             "drain_grace": drain_grace,
+            # Workers only pay for snapshot publication when something
+            # on the parent side is there to read it.
+            "publish_interval": (
+                publish_interval if metrics_port is not None else 0.0
+            ),
+            "trace_every": trace_every,
         }
         self.record_path = (
             os.fspath(record_path) if record_path else None
         )
         #: Merged decision trace after a graceful stop with recording on.
         self.recorded_trace = None
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self.trace_every = trace_every
+        self.trace_path = os.fspath(trace_path) if trace_path else None
+        #: Merged sampled spans after a graceful stop with tracing on.
+        self.trace_spans: list[dict] = []
         self._listener: socket.socket | None = None
         self._address: tuple[str, int] | None = None
         self._ctrls: list[socket.socket] = []
         self._procs: list = []
         self._accept_thread: threading.Thread | None = None
+        self._metrics_server = None
+        self._snapshots: dict[int, dict] = {}
+        self._snapshot_lock = threading.Lock()
+        self._reader_stop = threading.Event()
+        self._reader_thread: threading.Thread | None = None
         self.worker_summaries: list[dict] = []
         self.metrics_summary: dict = {}
         self.exit_codes: list[int | None] = []
@@ -352,6 +452,68 @@ class GatewayCluster:
         if self._address is None:
             raise RuntimeError("cluster not started")
         return self._address
+
+    # -- introspection -------------------------------------------------
+    @property
+    def metrics_url(self) -> str | None:
+        """Base URL of the introspection endpoint (None when disabled)."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.url
+
+    def metrics_snapshot(self) -> dict:
+        """Cluster-wide registry snapshot: latest per-shard views merged."""
+        from repro.obs.registry import merge_snapshots
+
+        with self._snapshot_lock:
+            snapshots = [
+                self._snapshots[shard] for shard in sorted(self._snapshots)
+            ]
+        return merge_snapshots(snapshots)
+
+    def health(self) -> dict:
+        """Liveness document for ``/healthz`` (503 unless status ok)."""
+        alive = sum(1 for proc in self._procs if proc.is_alive())
+        status = (
+            "ok" if self._procs and alive == len(self._procs) else "degraded"
+        )
+        return {"status": status, "workers": self.workers, "alive": alive}
+
+    def _snapshot_reader(self) -> None:
+        """Collect worker snapshot publications off the control sockets.
+
+        Runs on its own thread while the cluster serves; stopped (and
+        joined) *before* the parent shuts the control channels down for
+        teardown, so the shutdown-time span/metrics messages are left
+        for :meth:`_read_summary` to consume in order.
+        """
+        import selectors
+
+        selector = selectors.DefaultSelector()
+        for shard, ctrl in enumerate(self._ctrls):
+            selector.register(ctrl, selectors.EVENT_READ, shard)
+        try:
+            while not self._reader_stop.is_set():
+                for key, _events in selector.select(timeout=0.2):
+                    try:
+                        message = key.fileobj.recv(1 << 20)
+                    except OSError:
+                        selector.unregister(key.fileobj)
+                        continue
+                    if not message:
+                        # Worker died; its last snapshot stays visible.
+                        selector.unregister(key.fileobj)
+                        continue
+                    if not message.startswith(_SNAP):
+                        continue
+                    try:
+                        snapshot = json.loads(message[len(_SNAP):])
+                    except ValueError:  # pragma: no cover - torn message
+                        continue
+                    with self._snapshot_lock:
+                        self._snapshots[key.data] = snapshot
+        finally:
+            selector.close()
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "GatewayCluster":
@@ -405,6 +567,22 @@ class GatewayCluster:
                         f"(exitcode {self._procs[shard].exitcode})"
                     )
                 ctrl.settimeout(None)
+            if self.metrics_port is not None:
+                from repro.obs.http import MetricsHTTPServer
+
+                self._reader_stop.clear()
+                self._reader_thread = threading.Thread(
+                    target=self._snapshot_reader,
+                    name="repro-cluster-snapshots",
+                    daemon=True,
+                )
+                self._reader_thread.start()
+                self._metrics_server = MetricsHTTPServer(
+                    self.metrics_snapshot,
+                    host=self.metrics_host,
+                    port=self.metrics_port,
+                    health_provider=self.health,
+                ).start()
         except BaseException:
             self._teardown(graceful=False)
             raise
@@ -435,12 +613,24 @@ class GatewayCluster:
         self._teardown(graceful=True)
 
     def _teardown(self, graceful: bool) -> None:
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
+        # The snapshot reader must be fully stopped before the control
+        # channels shut down: once workers see parent EOF they start
+        # shipping spans and the final summary, and those messages
+        # belong to _read_summary, not the reader.
+        self._reader_stop.set()
+        if self._reader_thread is not None:
+            self._reader_thread.join(timeout=10.0)
+            self._reader_thread = None
         if self._listener is not None:
             self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=10.0)
             self._accept_thread = None
         summaries: list[dict] = []
+        spans: list[dict] = []
         for ctrl in self._ctrls:
             try:
                 ctrl.shutdown(socket.SHUT_WR)
@@ -448,7 +638,7 @@ class GatewayCluster:
                 pass
         for ctrl, proc in zip(self._ctrls, self._procs):
             if graceful:
-                summary = self._read_summary(ctrl)
+                summary = self._read_summary(ctrl, spans)
                 if summary is not None:
                     summaries.append(summary)
             ctrl.close()
@@ -464,8 +654,26 @@ class GatewayCluster:
         if graceful:
             self.worker_summaries = summaries
             self.metrics_summary = aggregate_gateway_summaries(summaries)
+            spans.sort(key=lambda span: span.get("accept_ts", 0.0))
+            self.trace_spans = spans
+            if self.trace_path is not None:
+                self._dump_spans(spans)
             if self.record_path is not None:
                 self.recorded_trace = self._merge_recordings()
+
+    def _dump_spans(self, spans: list[dict]) -> None:
+        from repro.obs.tracing import write_spans
+
+        with open(self.trace_path, "w", encoding="utf-8") as handle:
+            write_spans(
+                handle,
+                spans,
+                meta={
+                    "recorder": "cluster",
+                    "workers": self.workers,
+                    "sample_every": self.trace_every,
+                },
+            )
 
     def _merge_recordings(self):
         """Merge per-shard partial traces into one file at record_path."""
@@ -499,13 +707,26 @@ class GatewayCluster:
         merged.dump_jsonl(self.record_path)
         return merged
 
-    def _read_summary(self, ctrl: socket.socket) -> dict | None:
+    def _read_summary(
+        self, ctrl: socket.socket, spans_out: list[dict] | None = None
+    ) -> dict | None:
+        """Read one worker's shutdown stream: span chunks, then summary.
+
+        Snapshot publications still in flight are skipped; ``T`` span
+        chunks accumulate into ``spans_out``; the ``M`` summary message
+        terminates the stream.
+        """
         ctrl.settimeout(30.0)
         try:
             while True:
                 message = ctrl.recv(1 << 20)
                 if not message:
                     return None
+                if message.startswith(_SPANS):
+                    if spans_out is not None:
+                        chunk = json.loads(message[len(_SPANS):])
+                        spans_out.extend(chunk)
+                    continue
                 if message.startswith(_METRICS):
                     return json.loads(message[len(_METRICS):])
         except (socket.timeout, OSError, ValueError):

@@ -83,6 +83,11 @@ class GatewayServer:
         shed) is captured as a replayable v2 trace entry.  Costs
         nothing when omitted — with no subscribers the framework skips
         event construction entirely.
+    tracer:
+        Optional :class:`~repro.obs.tracing.RequestTracer`, attached to
+        the framework's event bus so 1-in-N requests are recorded as
+        structured spans (accept → flush → score → ... → verify).
+        Same zero-cost-when-omitted contract as ``recorder``.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class GatewayServer:
         io_timeout: float = 30.0,
         metrics: GatewayMetrics | None = None,
         recorder=None,
+        tracer=None,
     ) -> None:
         if io_timeout <= 0:
             raise ValueError(f"io_timeout must be > 0, got {io_timeout}")
@@ -106,6 +112,9 @@ class GatewayServer:
         self.recorder = recorder
         if recorder is not None:
             recorder.attach(framework.events)
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.attach(framework.events)
         self.host = host
         self.port = port
         self.io_timeout = io_timeout
@@ -241,6 +250,11 @@ class GatewayServer:
             timestamp=time.time(),
             features=features,
         )
+        # Latency is measured on the monotonic clock: the wall clock
+        # can step (NTP) between accept and redeem, and the exchange
+        # spans a client's whole solve time.  The wall timestamp above
+        # stays authoritative for records and traces.
+        accepted_mono = time.monotonic()
 
         outcome = await self.batcher.submit(request)
         if isinstance(outcome, ReproError):
@@ -260,8 +274,12 @@ class GatewayServer:
 
         solution_line = await self._read(reader)
         solution = Solution.from_wire(solution_line)
+        now = time.time()
+        elapsed = time.monotonic() - accepted_mono
         try:
-            response = self.framework.redeem(challenge, solution)
+            response = self.framework.redeem(
+                challenge, solution, now=now, request_sent_at=now - elapsed
+            )
         except ReproError as exc:
             await protocol.send_line_async(
                 writer, protocol.encode_err(f"challenge: {exc}")

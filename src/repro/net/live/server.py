@@ -64,6 +64,10 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             timestamp=time.time(),
             features=features,
         )
+        # Latency deltas ride the monotonic clock (the wall clock can
+        # step mid-exchange); the wall timestamp above stays the
+        # record-keeping time.
+        accepted_mono = time.monotonic()
         try:
             with server.live.lock:
                 challenge = server.live.framework.challenge(request)
@@ -75,8 +79,12 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
         solution_line = protocol.read_line(sock)
         solution = Solution.from_wire(solution_line)
+        now = time.time()
+        elapsed = time.monotonic() - accepted_mono
         with server.live.lock:
-            response = server.live.framework.redeem(challenge, solution)
+            response = server.live.framework.redeem(
+                challenge, solution, now=now, request_sent_at=now - elapsed
+            )
         # Record before replying so a client that acts on the reply
         # immediately (tests, health checks) already sees the log entry.
         server.live.record(response)

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -264,10 +265,15 @@ class FastSimulation:
 
     Parameters mirror :class:`~repro.net.sim.simulation.Simulation`;
     the additions are ``tick`` (cohort quantization grid, ``None`` for
-    exact times) and ``admission`` (``"auto"``/``"framework"``/
+    exact times), ``admission`` (``"auto"``/``"framework"``/
     ``"array"`` — auto picks the object-free array kernel whenever
     nothing subscribes to admission events and the model's scores are
-    time-invariant).
+    time-invariant) and ``phase_timer`` (an optional
+    :class:`~repro.obs.registry.PhaseTimer` accumulating wall time,
+    cohort counts and item counts per event kind — ``arrive``,
+    ``xmit``, ``xmitsol``, ``solve``, plus the nested ``fifo``
+    sub-phase; ``None`` keeps the hot loop to a single no-op check
+    per cohort).
     """
 
     def __init__(
@@ -285,6 +291,7 @@ class FastSimulation:
         tick: float | None = None,
         admission: str = "auto",
         links: LinkSet | None = None,
+        phase_timer=None,
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
@@ -310,6 +317,7 @@ class FastSimulation:
         self.recorder = recorder
         self.tick = tick
         self.links = links
+        self.phase_timer = phase_timer
         self._admission_request = admission
         self.default_hash_rate = 1.0 / timing.seconds_per_attempt
         self.rng = np.random.default_rng(seed)
@@ -455,6 +463,9 @@ class FastSimulation:
         signal and the TTL-expiry comparison, where one ULP can flip a
         decision).
         """
+        started = (
+            time.perf_counter() if self.phase_timer is not None else 0.0
+        )
         start = max(at, self._busy_until)
         seeded = np.empty(count + 1)
         seeded[0] = start
@@ -469,6 +480,12 @@ class FastSimulation:
             for value in backlogs:
                 policy.observe_load(float(value))
         self._busy_until = float(dones[-1])
+        if self.phase_timer is not None:
+            # Nested inside the dispatch phases, so "fifo" time is a
+            # sub-phase of (mostly) "arrive", not a disjoint share.
+            self.phase_timer.observe(
+                "fifo", time.perf_counter() - started, items=count
+            )
         return dones
 
     def _solve_schedule(
@@ -806,6 +823,7 @@ class FastSimulation:
         if get_scores is None and scores is not None:
             get_scores = lambda idx, at: scores[idx]  # noqa: E731
 
+        timer = self.phase_timer
         while self._queue:
             peek = self._queue.peek_time()
             if until is not None and peek > until:
@@ -813,6 +831,7 @@ class FastSimulation:
             when, segments = self._queue.pop_cohort()
             self._touch(when)
             for kind, payload in _merge_segments(segments):
+                started = time.perf_counter() if timer is not None else 0.0
                 if kind == "arrive":
                     self._process_arrivals(
                         when,
@@ -863,6 +882,17 @@ class FastSimulation:
                         until=until,
                         feedback=feedback,
                         link_base=link_base,
+                    )
+                if timer is not None:
+                    items = (
+                        payload.size
+                        if isinstance(payload, np.ndarray)
+                        else payload[0].size
+                    )
+                    timer.observe(
+                        kind,
+                        time.perf_counter() - started,
+                        items=int(items),
                     )
 
         duration = until if until is not None else self._now

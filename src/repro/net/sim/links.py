@@ -317,6 +317,27 @@ class LinkStats:
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
 
+    def publish(self, registry) -> None:
+        """Fold these outcomes into ``link_*_total`` registry counters.
+
+        Call once per finished run: counters only ever increase, so a
+        second publish of the same stats would double-count.
+        """
+        from repro.obs.registry import METRIC_CATALOG
+
+        for field, metric in (
+            ("crossings", "link_crossings_total"),
+            ("lost", "link_lost_total"),
+            ("queue_dropped", "link_queue_dropped_total"),
+            ("retries", "link_retries_total"),
+            ("request_give_ups", "link_request_give_ups_total"),
+            ("solution_give_ups", "link_solution_give_ups_total"),
+        ):
+            counter = registry.counter(metric, METRIC_CATALOG[metric])
+            value = getattr(self, field)
+            if value:
+                counter.inc(value)
+
     def summary(self) -> str:
         return (
             f"{self.crossings:,} uplink crossings: {self.lost:,} lost, "

@@ -1,0 +1,57 @@
+"""Unified telemetry: metrics registry, request tracing, introspection.
+
+Three layers, each usable alone:
+
+* :mod:`repro.obs.registry` — a process-wide, thread-safe registry of
+  labelled counters, gauges and histograms with a numpy ``observe_array``
+  bulk path, JSON-safe snapshots that merge across worker processes, and
+  Prometheus text exposition.
+* :mod:`repro.obs.tracing` — 1-in-N sampled request spans following a
+  request through gateway accept → accumulator flush → score → policy →
+  puzzle issue → verify, dumped as JSONL and rendered by
+  ``repro trace``.
+* :mod:`repro.obs.http` — a stdlib-only introspection endpoint
+  (``/metrics``, ``/healthz``, ``/summary``) plus a periodic snapshot
+  writer for campaigns and soak runs.
+
+The cost contract: with no registry, tracer, or timer attached, the hot
+paths (framework batch admission, the vectorized simulator's cohort
+loop) execute the identical instruction stream they did before this
+package existed — instrumentation is pay-for-what-you-attach, enforced
+by ``benchmarks/test_bench_obs.py``.
+"""
+
+from repro.obs.http import MetricsHTTPServer, SnapshotWriter
+from repro.obs.registry import (
+    METRIC_CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    merge_snapshots,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.tracing import (
+    RequestTracer,
+    load_spans,
+    render_spans,
+)
+
+__all__ = [
+    "METRIC_CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsHTTPServer",
+    "PhaseTimer",
+    "RequestTracer",
+    "SnapshotWriter",
+    "load_spans",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_spans",
+    "validate_exposition",
+]

@@ -526,11 +526,19 @@ def run_campaign(
     campaign: CampaignSpec | str,
     *,
     record_path=None,
+    tracer=None,
+    snapshot_path=None,
 ) -> CampaignRun:
     """Run ``campaign`` through the simulator, recording every decision.
 
     Returns the run (including the recorded v2 trace); when
-    ``record_path`` is given the trace is also written there.
+    ``record_path`` is given the trace is also written there.  An
+    optional :class:`~repro.obs.tracing.RequestTracer` rides on the
+    framework's event bus and samples per-request spans (callback
+    campaigns only: the vectorized engine emits no per-request
+    events).  ``snapshot_path`` turns on the periodic registry
+    snapshot writer (scale campaigns only: that is where the
+    phase-timing and link registries live).
     """
     if isinstance(campaign, str):
         try:
@@ -547,7 +555,19 @@ def run_campaign(
                 "aggregates outcomes instead of recording a "
                 "per-decision trace"
             )
-        return _run_mega_campaign(campaign)
+        if tracer is not None:
+            raise ValueError(
+                f"campaign {campaign.name!r} is large-scale: the "
+                "vectorized engine emits no per-request events for a "
+                "tracer to sample"
+            )
+        return _run_mega_campaign(campaign, snapshot_path=snapshot_path)
+    if snapshot_path is not None:
+        raise ValueError(
+            f"campaign {campaign.name!r} is not large-scale: metric "
+            "snapshots cover the vectorized engine's phase and link "
+            "registries (scale campaigns only)"
+        )
 
     generator = WorkloadGenerator(seed=campaign.seed)
     populations = [
@@ -563,6 +583,8 @@ def run_campaign(
             for client in clients
         }
     ).attach(framework.events)
+    if tracer is not None:
+        tracer.attach(framework.events)
 
     solve_deciders = {}
     for profile_name, attacker_spec in campaign.attackers.items():
@@ -709,7 +731,9 @@ def _build_fires(campaign: CampaignSpec, population, rng):
     return pat.merge_schedules(*schedules)
 
 
-def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
+def _run_mega_campaign(
+    campaign: CampaignSpec, snapshot_path=None
+) -> CampaignRun:
     """Run a ``scale`` campaign through the vectorized engine."""
     import numpy as np
 
@@ -741,6 +765,10 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
         from repro.net.sim.links import LinkSet
 
         links = LinkSet(scale.links, seed=campaign.seed ^ 0x11AB)
+    from repro.obs.registry import MetricsRegistry, PhaseTimer
+
+    registry = MetricsRegistry()
+    phase_timer = PhaseTimer()
     simulation = FastSimulation(
         framework,
         server_model=server_model,
@@ -750,15 +778,40 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
         patiences={p.name: p.patience for p in population.profiles},
         tick=scale.tick,
         links=links,
+        phase_timer=phase_timer,
     )
     feedback = (
         FastFeedback(len(population)) if scale.feedback else None
     )
+
+    def _live_snapshot() -> dict:
+        # The run mutates phase_timer and the link stats in place;
+        # publishing them into a throwaway registry per snapshot gives
+        # the writer monotone counters without double-counting the
+        # run-end publish below.
+        live = MetricsRegistry()
+        phase_timer.publish(live)
+        if simulation.link_stats is not None:
+            simulation.link_stats.publish(live)
+        return live.snapshot()
+
+    writer = None
+    if snapshot_path is not None:
+        from repro.obs.http import SnapshotWriter
+
+        writer = SnapshotWriter(snapshot_path, _live_snapshot).start()
     started = time.perf_counter()
-    report = simulation.run_fires(
-        population, fire_times, fire_agents, feedback=feedback
-    )
-    wall = time.perf_counter() - started
+    try:
+        report = simulation.run_fires(
+            population, fire_times, fire_agents, feedback=feedback
+        )
+    finally:
+        wall = time.perf_counter() - started
+        if writer is not None:
+            writer.close()
+    phase_timer.publish(registry)
+    if report.link_stats is not None:
+        report.link_stats.publish(registry)
 
     rows = []
     for cls in report.metrics.class_names():
@@ -783,6 +836,7 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
         f"(largest {simulation.largest_arrival_batch:,}), "
         f"tick {scale.tick:g}s",
         f"framework recipe hash {spec_hash(campaign.spec)}",
+        f"phase timing: {phase_timer.render()}",
     ]
     if report.link_stats is not None:
         notes.append(f"network: {report.link_stats.summary()}")
@@ -818,6 +872,8 @@ def _run_mega_campaign(campaign: CampaignSpec) -> CampaignRun:
             "events": report.events_processed,
             "wall_seconds": wall,
             "events_per_second": events_per_second,
+            "phase_timings": phase_timer.summary(),
+            "metrics_snapshot": registry.snapshot(),
             **(
                 {"link_stats": report.link_stats.as_dict()}
                 if report.link_stats is not None

@@ -324,3 +324,106 @@ class TestServeSigterm:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+@pytest.mark.slow
+class TestClusterTelemetry:
+    def test_metrics_endpoint_and_span_reconstruction(
+        self, tmp_path, examples
+    ):
+        """One scrape sees all workers; one span sees the whole path.
+
+        Boots a 2-worker cluster with the introspection endpoint and
+        1-in-1 tracing, serves a few honest exchanges, then asserts
+        (a) /metrics renders valid Prometheus text whose admitted
+        counter equals the cluster-wide total, (b) /healthz reports
+        every worker alive, and (c) after shutdown each request's span
+        — shipped from the shard workers over the control channel —
+        reconstructs the full accept→respond pipeline.
+        """
+        import json
+        import urllib.request
+
+        from repro.obs.registry import validate_exposition
+        from repro.obs.tracing import FULL_PATH, load_spans
+
+        trace_path = tmp_path / "spans.jsonl"
+        features = dict(examples[0].features)
+        ips = [f"127.0.0.{i}" for i in range(1, 5)]
+        with GatewayCluster(
+            SPEC,
+            workers=2,
+            metrics_port=0,
+            publish_interval=0.1,
+            trace_every=1,
+            trace_path=trace_path,
+        ) as cluster:
+            url = cluster.metrics_url
+            assert url is not None
+            for ip in ips:
+                result = LiveClient(
+                    cluster.address, source_ip=ip
+                ).fetch("/index.html", features)
+                assert result.ok, (ip, result)
+
+            # Workers publish snapshots on publish_interval; wait for
+            # the scrape to converge on the cluster-wide total.
+            text = ""
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    url + "/metrics", timeout=5.0
+                ) as reply:
+                    assert reply.status == 200
+                    text = reply.read().decode("utf-8")
+                if f"gateway_admitted_total {len(ips)}" in text:
+                    break
+                time.sleep(0.05)
+            assert f"gateway_admitted_total {len(ips)}" in text, text
+            problems = validate_exposition(text)
+            assert not problems, problems
+
+            with urllib.request.urlopen(
+                url + "/healthz", timeout=5.0
+            ) as reply:
+                assert reply.status == 200
+                health = json.load(reply)
+            assert health == {"status": "ok", "workers": 2, "alive": 2}
+
+            with urllib.request.urlopen(
+                url + "/summary", timeout=5.0
+            ) as reply:
+                summary = json.load(reply)
+            assert summary["format"] == "repro-metrics/v1"
+
+        assert cluster.exit_codes == [0, 0]
+        # The endpoint is gone with the cluster, but the merged worker
+        # summaries and the shipped spans survive it.
+        assert cluster.metrics_summary["admitted"] == len(ips)
+        spans = cluster.trace_spans
+        assert len(spans) == len(ips)
+        for span in spans:
+            stages = [record["stage"] for record in span["stages"]]
+            assert stages == list(FULL_PATH), stages
+            assert span["outcome"] == "served"
+        assert {span["client_ip"] for span in spans} == set(ips)
+
+        meta, loaded = load_spans(trace_path)
+        assert meta["recorder"] == "cluster"
+        assert meta["workers"] == 2
+        assert meta["sample_every"] == 1
+        assert [s["span_id"] for s in loaded] == [
+            s["span_id"] for s in spans
+        ]
+        # Both shards traced: span ids carry the worker prefix.
+        assert {s["span_id"].split("-")[0] for s in loaded} == {"w0", "w1"}
+
+    def test_metrics_disabled_by_default(self, examples):
+        with GatewayCluster(SPEC, workers=1) as cluster:
+            assert cluster.metrics_url is None
+            result = LiveClient(
+                cluster.address, source_ip="127.0.0.9"
+            ).fetch("/index.html", dict(examples[0].features))
+            assert result.ok
+        assert cluster.exit_codes == [0]
+        assert cluster.trace_spans == []

@@ -147,6 +147,35 @@ class TestDesignDoc:
                 "does not register it"
             )
 
+    def test_metric_table_matches_catalog(self):
+        """The DESIGN.md §1.7 metric table IS the metric catalogue.
+
+        Every row must name a catalogued metric with the catalogue's
+        own help text, and every catalogued metric must have a row —
+        adding a metric without documenting it (or vice versa) fails
+        here.
+        """
+        from repro.obs.registry import METRIC_CATALOG
+
+        design = read("DESIGN.md")
+        rows = re.findall(
+            r"^\| `(\w+)` \| (?:counter|gauge|histogram) \|"
+            r" [^|]* \| ([^|]+) \|$",
+            design,
+            re.M,
+        )
+        documented = {name: help_text.strip() for name, help_text in rows}
+        assert set(documented) == set(METRIC_CATALOG), (
+            "DESIGN.md metric table out of sync: "
+            f"missing={sorted(set(METRIC_CATALOG) - set(documented))} "
+            f"extra={sorted(set(documented) - set(METRIC_CATALOG))}"
+        )
+        for name, help_text in documented.items():
+            assert help_text == METRIC_CATALOG[name], (
+                f"DESIGN.md help for {name!r} drifted from the "
+                f"catalogue: {help_text!r} != {METRIC_CATALOG[name]!r}"
+            )
+
     def test_referenced_modules_import(self):
         design = read("DESIGN.md")
         for dotted in set(re.findall(r"`(repro(?:\.\w+)+)`", design)):

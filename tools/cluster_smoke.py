@@ -51,6 +51,7 @@ class ServeProcess:
                 "--workers", "2", "--port", "0",
                 "--policy", "policy-1",
                 "--state-dir", str(state_dir),
+                "--metrics-port", "0",
             ],
             cwd=REPO,
             env={**os.environ, "PYTHONPATH": str(SRC)},
@@ -89,6 +90,30 @@ class ServeProcess:
                 address = line.split(" on ", 1)[1].split()[0]
                 host, port = address.rsplit(":", 1)
                 return host, int(port)
+
+    def wait_metrics_url(self) -> str:
+        """The introspection base URL, from the line after the banner."""
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"no metrics line within {STARTUP_TIMEOUT:.0f}s"
+                )
+            try:
+                line = self.lines.get(timeout=remaining)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"no metrics line within {STARTUP_TIMEOUT:.0f}s"
+                ) from None
+            if line is None:
+                raise RuntimeError(
+                    f"serve exited before metrics: {self.proc.poll()}"
+                )
+            print("serve:", line, end="")
+            if "metrics on " in line:
+                url = line.split(" on ", 1)[1].strip()
+                return url.removesuffix("/metrics")
 
     def terminate(self) -> int:
         self.proc.send_signal(signal.SIGTERM)
@@ -149,7 +174,14 @@ def main() -> int:
 
         server = ServeProcess(state_dir)
         try:
-            round_trip(server.wait_address())
+            address = server.wait_address()
+            metrics_url = server.wait_metrics_url()
+            round_trip(address)
+            # One scrape must aggregate both workers' registries.
+            from gateway_smoke import scrape_introspection
+
+            if scrape_introspection(metrics_url, expect_admitted=1):
+                return 1
             code = server.terminate()
             print("first run exited with", code)
             if code != 0:

@@ -30,6 +30,50 @@ STARTUP_TIMEOUT = 120.0
 SHUTDOWN_TIMEOUT = 30.0
 
 
+def scrape_introspection(
+    metrics_url: str, expect_admitted: int, timeout: float = 30.0
+) -> int:
+    """Scrape /metrics and /healthz; returns 0 when both check out.
+
+    Polls until the admitted counter reaches ``expect_admitted`` —
+    cluster workers publish snapshots on an interval, so the first
+    scrape can lag the round-trip.
+    """
+    import json
+    import urllib.request
+
+    from repro.obs.registry import validate_exposition
+
+    wanted = f"gateway_admitted_total {expect_admitted}"
+    text = ""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+            metrics_url + "/metrics", timeout=10.0
+        ) as reply:
+            text = reply.read().decode("utf-8")
+        if wanted in text:
+            break
+        time.sleep(0.1)
+    if wanted not in text:
+        print(f"metrics never showed {wanted!r}:")
+        print(text)
+        return 1
+    problems = validate_exposition(text)
+    if problems:
+        print("invalid Prometheus exposition:", problems)
+        return 1
+    with urllib.request.urlopen(
+        metrics_url + "/healthz", timeout=10.0
+    ) as reply:
+        health = json.load(reply)
+    print(f"scrape: {wanted} ok, healthz {health}")
+    if health.get("status") != "ok":
+        print("healthz not ok:", health)
+        return 1
+    return 0
+
+
 def main() -> int:
     sys.path.insert(0, str(SRC))
     from repro.net.live.client import LiveClient
@@ -43,6 +87,7 @@ def main() -> int:
             sys.executable, "-m", "repro", "serve", "--gateway",
             "--port", "0", "--max-batch", "16",
             "--batch-window", "0.002",
+            "--metrics-port", "0",
         ],
         cwd=REPO,
         env={**os.environ, "PYTHONPATH": str(SRC)},
@@ -84,6 +129,27 @@ def main() -> int:
         address = banner.split(" on ", 1)[1].split()[0]
         host, port = address.rsplit(":", 1)
 
+        # The metrics line follows the banner:
+        # "metrics on http://HOST:PORT/metrics".
+        metrics_url = ""
+        while not metrics_url:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                print(f"no metrics line within {STARTUP_TIMEOUT:.0f}s")
+                return 1
+            try:
+                line = lines.get(timeout=remaining)
+            except queue.Empty:
+                print(f"no metrics line within {STARTUP_TIMEOUT:.0f}s")
+                return 1
+            if line is None:
+                print("gateway exited before metrics:", proc.poll())
+                return 1
+            print("serve:", line, end="")
+            if "metrics on " in line:
+                metrics_url = line.split(" on ", 1)[1].strip()
+                metrics_url = metrics_url.removesuffix("/metrics")
+
         result = LiveClient((host, int(port))).fetch("/healthz", features)
         print(
             f"round-trip: ok={result.ok} difficulty={result.difficulty} "
@@ -91,6 +157,9 @@ def main() -> int:
         )
         if not result.ok or result.body != "resource:/healthz":
             print("round-trip failed:", result)
+            return 1
+
+        if scrape_introspection(metrics_url, expect_admitted=1):
             return 1
 
         proc.send_signal(signal.SIGINT)
