@@ -1,0 +1,157 @@
+"""Bench: process-parallel fastsim vs one process.
+
+The acceptance gate of the multi-core lever: at one million agents the
+hash-sharded :class:`ParallelSimulation` must beat the single-process
+engine by at least 2.5x with four workers.  The gate only means
+something with real cores behind it, so it skips on hosts exposing
+fewer than four — correctness (per-shard bitwise decision parity and
+global aggregate equality against single-process runs) is enforced
+unconditionally at two workers, which time-share fine on any host.
+The pytest-benchmark variant archives the parallel driver's absolute
+cost for the nightly regression check (BENCH_baseline.json).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.megasim import MegasimConfig, build_workload
+from repro.bench.parsim import ParsimConfig, run_parsim_throughput
+from repro.net.sim.parsim import (
+    ParallelSimulation,
+    build_shard_simulation,
+    partition_population,
+    shard_of_agents,
+    shard_seed,
+)
+
+MIN_SPEEDUP = 2.5
+
+SMALL = ParsimConfig(
+    workload=MegasimConfig(
+        agents=50_000, duration=1.0, tick=0.02, seed=0xBA11
+    ),
+    procs=2,
+)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    _usable_cores() < 4,
+    reason="speedup gate needs >=4 cores; "
+    f"host exposes {_usable_cores()}",
+)
+def test_parsim_2_5x_gate_at_1m_agents():
+    """The tentpole gate: >=2.5x at 4 workers on a million agents.
+
+    ``run_parsim_throughput`` itself asserts the parallel driver's
+    decision aggregates match the single-process run (counts and
+    extremes exactly, means to accumulation noise); a mismatch raises
+    before any ratio is checked.
+    """
+    result = run_parsim_throughput(ParsimConfig())
+    speedup = result.extra["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel speedup {speedup:.2f}x below the {MIN_SPEEDUP}x "
+        f"floor (single {result.extra['single_wall']:.2f}s, "
+        f"parallel {result.extra['parallel_wall']:.2f}s at "
+        f"{result.extra['procs']} workers)"
+    )
+
+
+def test_parsim_decision_aggregates_match_at_2_workers():
+    """Always-run correctness: aggregate equality needs no spare cores.
+
+    The harness raises if the parallel and single-process decision
+    fingerprints disagree, so reaching the assertions below *is* the
+    equality check; they pin the experiment's shape on top.
+    """
+    result = run_parsim_throughput(SMALL)
+    assert result.experiment_id == "parsim"
+    assert result.extra["procs"] == 2
+    fingerprint = result.extra["decision_fingerprint"]
+    assert fingerprint["requests"] == result.rows[0][1] > 0
+    assert result.extra["speedup"] > 0
+
+
+def test_parsim_per_shard_streams_bitwise_identical():
+    """Each shard's decision stream == a single-process run of its shard."""
+    workload = SMALL.workload
+    population, fire_times, fire_agents, _ = build_workload(workload)
+    patiences = {p.name: p.patience for p in population.profiles}
+    hash_rates = {p.name: p.hash_rate for p in population.profiles}
+
+    driver = ParallelSimulation(
+        SMALL.spec(),
+        procs=2,
+        epoch=SMALL.epoch,
+        seed=workload.seed,
+        attacker_specs=SMALL.attacker_specs(),
+        hash_rates=hash_rates,
+        patiences=patiences,
+        tick=workload.tick,
+        decision_log=True,
+    )
+    outcome = driver.run_fires(population, fire_times, fire_agents)
+
+    members = partition_population(population, 2)
+    fire_shard = shard_of_agents(population.packed_ips(), 2)[fire_agents]
+    for shard in range(2):
+        mask = fire_shard == shard
+        reference = build_shard_simulation(
+            driver, seed=shard_seed(workload.seed, shard)
+        )
+        reference.run_fires(
+            population.subset(members[shard]),
+            fire_times[mask],
+            np.searchsorted(members[shard], fire_agents[mask]),
+        )
+        got, want = outcome.decisions[shard], reference.decisions
+        assert len(got) == len(want)
+        for mine, theirs in zip(got, want):
+            assert mine[0] == theirs[0]
+            assert all(
+                np.array_equal(mine[j], theirs[j]) for j in (1, 2, 3)
+            )
+
+
+def test_parsim_2workers_50k_agents(benchmark):
+    """Archive the parallel driver's absolute cost at two workers.
+
+    Spawn/boot overhead is part of the archived number on purpose: it
+    is the fixed cost a campaign pays per ``--procs`` run, and a
+    regression there (slower worker boot, bigger pickled specs) is as
+    real as a slower epoch loop.
+    """
+    workload = SMALL.workload
+    population, fire_times, fire_agents, _ = build_workload(workload)
+    patiences = {p.name: p.patience for p in population.profiles}
+    hash_rates = {p.name: p.hash_rate for p in population.profiles}
+
+    def run():
+        driver = ParallelSimulation(
+            SMALL.spec(),
+            procs=2,
+            epoch=SMALL.epoch,
+            seed=workload.seed,
+            attacker_specs=SMALL.attacker_specs(),
+            hash_rates=hash_rates,
+            patiences=patiences,
+            tick=workload.tick,
+        )
+        return driver.run_fires(population, fire_times, fire_agents)
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert outcome.report.requests == fire_times.size
+    benchmark.extra_info["requests"] = outcome.report.requests
+    benchmark.extra_info["events"] = outcome.report.events_processed
+    benchmark.extra_info["shard_requests"] = list(outcome.shard_requests)

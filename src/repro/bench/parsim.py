@@ -1,0 +1,186 @@
+"""Experiment `parsim`: process-parallel vs single-process fastsim.
+
+The tentpole gate of the multi-core lever: one large agent workload
+(the megasim shape, scaled up) is driven once through a single-process
+:class:`~repro.net.sim.fastsim.FastSimulation` and once through the
+hash-sharded :class:`~repro.net.sim.parsim.ParallelSimulation`, and the
+experiment reports each driver's throughput plus the speedup.
+
+Correctness rides along: each shard runs its own FIFO server, so the
+*timing* side (latencies, status mix) legitimately differs from the
+one-server single-process run — but under the deterministic default
+policy the admission decisions are timing-independent, so the
+decision-aggregate fingerprint (request count, difficulty mean and
+extremes, score mean) must match the single-process run exactly in
+counts/extremes and to accumulation noise in means.  The experiment
+asserts exactly that, reusing the megasim fingerprint helpers.  The
+stronger per-shard bitwise claim is gated by
+``benchmarks/test_bench_parsim.py``.
+
+``benchmarks/test_bench_parsim.py`` also enforces the ≥2.5x floor at
+four workers on hosts with at least four cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.bench.megasim import (
+    MegasimConfig,
+    _decision_fingerprint,
+    _fingerprints_agree,
+    build_workload,
+)
+from repro.bench.results import ExperimentResult
+from repro.core.spec import FrameworkSpec
+from repro.net.sim.fastsim import FastSimulation
+from repro.net.sim.parsim import ParallelSimulation
+from repro.traffic.profiles import MALICIOUS_PROFILE
+
+__all__ = ["ParsimConfig", "run_parsim_throughput"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ParsimConfig:
+    """Parameters of the parallel-throughput experiment.
+
+    ``workload`` is the shared population/fire-schedule recipe (the
+    megasim shape); ``procs`` the worker count; ``epoch`` the simulated
+    seconds per lock-step window.
+    """
+
+    workload: MegasimConfig = MegasimConfig(
+        agents=1_000_000, duration=1.0, tick=0.02, seed=0xBA11
+    )
+    procs: int = 4
+    epoch: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.procs < 1:
+            raise ValueError(f"procs must be >= 1, got {self.procs}")
+        if self.epoch <= 0:
+            raise ValueError(f"epoch must be > 0, got {self.epoch}")
+
+    def spec(self) -> FrameworkSpec:
+        """The picklable framework recipe both drivers build from."""
+        return FrameworkSpec(
+            policy="policy-2",
+            corpus_size=self.workload.corpus_size,
+            corpus_seed=self.workload.corpus_seed,
+            feedback=False,
+        )
+
+    def attacker_specs(self) -> dict:
+        return {
+            MALICIOUS_PROFILE.name: {
+                "kind": "botnet",
+                "max_difficulty": self.workload.max_difficulty,
+            }
+        }
+
+
+def run_parsim_throughput(
+    config: ParsimConfig | None = None,
+) -> ExperimentResult:
+    """Measure single-process vs parallel driver; tabulate both."""
+    config = config or ParsimConfig()
+    workload = config.workload
+    population, fire_times, fire_agents, _ = build_workload(workload)
+    patiences = {p.name: p.patience for p in population.profiles}
+    hash_rates = {p.name: p.hash_rate for p in population.profiles}
+    spec = config.spec()
+    attacker_specs = config.attacker_specs()
+
+    from repro.attacks import make_attacker
+
+    single = FastSimulation(
+        spec.build(),
+        seed=workload.seed,
+        solve_deciders={
+            name: make_attacker(attacker_spec)
+            for name, attacker_spec in attacker_specs.items()
+        },
+        hash_rates=hash_rates,
+        patiences=patiences,
+        tick=workload.tick,
+    )
+    started = time.perf_counter()
+    single_report = single.run_fires(population, fire_times, fire_agents)
+    single_wall = time.perf_counter() - started
+
+    parallel = ParallelSimulation(
+        spec,
+        procs=config.procs,
+        epoch=config.epoch,
+        seed=workload.seed,
+        attacker_specs=attacker_specs,
+        hash_rates=hash_rates,
+        patiences=patiences,
+        tick=workload.tick,
+    )
+    started = time.perf_counter()
+    outcome = parallel.run_fires(population, fire_times, fire_agents)
+    parallel_wall = time.perf_counter() - started
+
+    fingerprints = (
+        _decision_fingerprint(single_report),
+        _decision_fingerprint(outcome.report),
+    )
+    if not _fingerprints_agree(*fingerprints):
+        raise AssertionError(
+            "drivers disagree on admission decisions: "
+            f"{fingerprints[0]} vs {fingerprints[1]}"
+        )
+
+    requests = single_report.requests
+    speedup = (
+        single_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    )
+    rows = [
+        [
+            "fastsim x1",
+            requests,
+            single_wall,
+            requests / single_wall,
+            single_report.events_processed / single_wall,
+        ],
+        [
+            f"parsim x{config.procs}",
+            requests,
+            parallel_wall,
+            requests / parallel_wall,
+            outcome.report.events_processed / parallel_wall,
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="parsim",
+        title=(
+            "Process-parallel fastsim - hash-sharded shared-memory "
+            "workers vs one process"
+        ),
+        headers=["driver", "requests", "wall_s", "requests_per_s", "events_per_s"],
+        rows=rows,
+        notes=[
+            f"{workload.agents:,} agents, identical workload on both "
+            f"drivers; shards of "
+            + "/".join(f"{n:,}" for n in outcome.shard_requests)
+            + " requests",
+            "admission decisions agree with the single-process run "
+            f"(mean difficulty {fingerprints[0]['difficulty_mean']:.3f}); "
+            "per-shard timing differs (each shard owns a FIFO server, "
+            "DESIGN.md §1.8)",
+            f"parallel speedup: {speedup:.2f}x at {config.procs} workers, "
+            f"epoch {config.epoch:g}s, tick {workload.tick:g}s",
+        ],
+        extra={
+            "speedup": speedup,
+            "procs": config.procs,
+            "single_wall": single_wall,
+            "parallel_wall": parallel_wall,
+            "parallel_events_per_s": (
+                outcome.report.events_processed / parallel_wall
+            ),
+            "decision_fingerprint": fingerprints[0],
+        },
+    )

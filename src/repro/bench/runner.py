@@ -94,6 +94,18 @@ def _netsim_result() -> ExperimentResult:
     return run_netsim_throughput()
 
 
+def _parsim_result() -> ExperimentResult:
+    from repro.bench.parsim import run_parsim_throughput
+
+    return run_parsim_throughput()
+
+
+def _kernels_result() -> ExperimentResult:
+    from repro.bench.kernels import run_kernel_microbench
+
+    return run_kernel_microbench()
+
+
 EXPERIMENTS["throttle"] = _throttle_result
 EXPERIMENTS["onset"] = _onset_result
 EXPERIMENTS["thr-batch"] = _batch_throughput_result
@@ -102,6 +114,8 @@ EXPERIMENTS["thr-shard"] = _shard_throughput_result
 EXPERIMENTS["thr-replay"] = _replay_throughput_result
 EXPERIMENTS["megasim"] = _megasim_result
 EXPERIMENTS["netsim"] = _netsim_result
+EXPERIMENTS["parsim"] = _parsim_result
+EXPERIMENTS["kernels"] = _kernels_result
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:

@@ -115,3 +115,18 @@ class CalendarQueue:
         """
         while self._len:
             yield self.pop_cohort()
+
+    def drain_until(self, bound: float) -> Iterator[tuple[float, list[Any]]]:
+        """Yield cohorts with quantized time ``<= bound``, then stop.
+
+        The epoch-slicing primitive of the parallel driver: draining a
+        queue in consecutive ``drain_until`` windows visits exactly the
+        cohorts an uninterrupted :meth:`drain` would, in the same
+        (time, FIFO) order — events only ever schedule at or after the
+        cohort that causes them, so a follow-on event either lands in
+        the current window (and pops here, in order) or in a later one.
+        The bound compares against *quantized* cohort keys: a window
+        boundary never splits a cohort.
+        """
+        while self._times and self._times[0] <= bound:
+            yield self.pop_cohort()

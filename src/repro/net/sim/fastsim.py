@@ -68,6 +68,7 @@ import numpy as np
 from repro.core.framework import AIPoWFramework
 from repro.core.records import ResponseStatus
 from repro.metrics.collector import MetricsCollector
+from repro.net.sim import kernels
 from repro.net.sim.agents import AgentPopulation
 from repro.net.sim.calendar import CalendarQueue
 from repro.net.sim.channel import Channel, FixedDelayChannel
@@ -99,14 +100,10 @@ def sample_attempts_array(
     attempts = np.ones(d.shape, dtype=np.float64)
     mask = d > 0
     if mask.any():
-        p = np.exp2(-d[mask])
+        # RNG consumption (one uniform per positive difficulty) is
+        # owned here; the kernel is backend-swappable but stream-free.
         u = rng.random(int(mask.sum()))
-        # Guard the u == 0 edge (log(0)); nudging to the smallest
-        # positive float is the array equivalent of redrawing.
-        u = np.maximum(u, np.nextafter(0.0, 1.0))
-        attempts[mask] = np.maximum(
-            1.0, np.ceil(np.log(u) / np.log1p(-p))
-        )
+        attempts[mask] = kernels.geometric_attempts(d[mask], u)
     return attempts
 
 
@@ -180,6 +177,46 @@ class _OutcomeBuffers:
             self._fill_one(collector.overall, code, merged)
         return collector
 
+    def export_rows(
+        self, class_names: Sequence[str]
+    ) -> tuple[np.ndarray, ...]:
+        """Flatten the buffers into parallel outcome-row arrays.
+
+        Returns ``(class_ids, status_codes, latency, scores,
+        difficulties, attempts)`` — the flat-array transport format the
+        parallel driver writes into shared memory.  Feeding the rows
+        back through :meth:`record` on the other side rebuilds
+        equivalent buffers: per-(class, status) counts and extremes are
+        exact; means can differ by accumulation order only.
+        """
+        cids: list[np.ndarray] = []
+        codes: list[np.ndarray] = []
+        cols: tuple[list, list, list, list] = ([], [], [], [])
+        name_to_cid = {name: i for i, name in enumerate(class_names)}
+        for (name, code), chunks in sorted(
+            self._chunks.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            for chunk in chunks:
+                k = int(chunk[0].size)
+                cids.append(np.full(k, name_to_cid[name], dtype=np.int32))
+                codes.append(np.full(k, code, dtype=np.int8))
+                for j in range(4):
+                    cols[j].append(chunk[j])
+        if not cids:
+            return (
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int8),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0),
+            )
+        return (
+            np.concatenate(cids),
+            np.concatenate(codes),
+            *(np.concatenate(col) for col in cols),
+        )
+
     @staticmethod
     def _fill_one(metrics, code: int, merged: tuple) -> None:
         latency, scores, difficulties, attempts = merged
@@ -250,6 +287,34 @@ class FastFeedback:
         )
 
 
+@dataclasses.dataclass
+class _OpenLoopState:
+    """Run-long open-loop context, carried across :meth:`~FastSimulation.step` calls.
+
+    Everything that used to live as locals of the monolithic open-loop
+    driver; hoisting it onto the engine is what lets the parallel
+    driver (:mod:`repro.net.sim.parsim`) advance a run in bounded time
+    epochs with barriers in between.
+    """
+
+    ts: np.ndarray
+    class_names: Sequence[str]
+    class_ids: np.ndarray
+    agent_ids: np.ndarray
+    cpu_free: np.ndarray
+    hash_rate: np.ndarray
+    patience: np.ndarray
+    get_scores: object
+    requests_of: object
+    until: float | None
+    feedback: "FastFeedback | None"
+    link_qids: np.ndarray | None
+    link_base: np.ndarray | float
+    n: int
+    model: ServerModel
+    ttl: float
+
+
 class FastSimulation:
     """Cohort-vectorized simulation over the calendar-queue scheduler.
 
@@ -273,7 +338,10 @@ class FastSimulation:
     cohort counts and item counts per event kind — ``arrive``,
     ``xmit``, ``xmitsol``, ``solve``, plus the nested ``fifo``
     sub-phase; ``None`` keeps the hot loop to a single no-op check
-    per cohort).
+    per cohort) and ``decision_log`` (when True, every open-loop
+    admission cohort appends ``(when, idx, scores, difficulties)`` to
+    :attr:`decisions` — the bitwise decision-stream probe the parallel
+    driver's parity tests compare; off by default, zero hot-path cost).
     """
 
     def __init__(
@@ -292,6 +360,7 @@ class FastSimulation:
         admission: str = "auto",
         links: LinkSet | None = None,
         phase_timer=None,
+        decision_log: bool = False,
     ) -> None:
         if load_reference <= 0:
             raise ValueError(
@@ -318,6 +387,7 @@ class FastSimulation:
         self.tick = tick
         self.links = links
         self.phase_timer = phase_timer
+        self._decision_log = decision_log
         self._admission_request = admission
         self.default_hash_rate = 1.0 / timing.seconds_per_attempt
         self.rng = np.random.default_rng(seed)
@@ -349,6 +419,12 @@ class FastSimulation:
         self._busy_until = 0.0
         self._now = 0.0
         self._buffers = _OutcomeBuffers()
+        #: Per-cohort admission decisions, only kept when the engine
+        #: was built with ``decision_log=True``.
+        self.decisions: list[tuple] | None = (
+            [] if self._decision_log else None
+        )
+        self._open: _OpenLoopState | None = None
         self._observe_load = observe_load
         self._link_session = (
             self.links.session() if self.links is not None else None
@@ -467,10 +543,7 @@ class FastSimulation:
             time.perf_counter() if self.phase_timer is not None else 0.0
         )
         start = max(at, self._busy_until)
-        seeded = np.empty(count + 1)
-        seeded[0] = start
-        seeded[1:] = costs
-        dones = np.cumsum(seeded)[1:]
+        dones = kernels.fifo_running_sum(start, costs, count)
         policy = self.framework.policy
         if self._observe_load and isinstance(policy, LoadAdaptivePolicy):
             busy_before = np.empty(count)
@@ -506,7 +579,7 @@ class FastSimulation:
         """
         start = np.maximum(receipt, cpu_free[agents])
         solve_end = start + seconds
-        abandoned = (solve_end - receipt) > patience
+        abandoned = kernels.patience_mask(solve_end, receipt, patience)
         give_up = receipt + patience
         release = np.where(abandoned, give_up, solve_end)
         uniq, inverse, counts = np.unique(
@@ -669,6 +742,65 @@ class FastSimulation:
         ``feedback`` threads a :class:`FastFeedback` offset table into
         scoring and outcome observation.
         """
+        return self._run_open_loop(
+            **self._fires_kwargs(
+                population, fire_times, fire_agents, until, feedback
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Stepped execution (the parallel driver's epoch API)
+    # ------------------------------------------------------------------
+    def start_fires(
+        self,
+        population: AgentPopulation,
+        fire_times: np.ndarray,
+        fire_agents: np.ndarray,
+        until: float | None = None,
+        feedback: FastFeedback | None = None,
+    ) -> None:
+        """Prime the stepped engine with a fire schedule.
+
+        ``start_fires`` + repeated :meth:`step` + :meth:`finish` is the
+        epoch-sliced spelling of :meth:`run_fires`: draining the
+        calendar queue in consecutive bounded windows visits exactly
+        the cohorts an unbounded drain would, in the same (time, FIFO)
+        order — see :meth:`CalendarQueue.drain_until` — so the two
+        spellings produce bit-identical decision streams and reports.
+        """
+        self._start_open_loop(
+            **self._fires_kwargs(
+                population, fire_times, fire_agents, until, feedback
+            )
+        )
+
+    def step(self, bound: float | None) -> bool:
+        """Process every cohort with quantized time ``<= bound``.
+
+        Returns True while events remain past ``bound`` (the caller
+        should step again with a later bound), False once the run is
+        over — queue drained, or every remaining cohort lies beyond
+        the run's ``until`` horizon.  ``bound=None`` runs to the end.
+        """
+        if self._open is None:
+            raise ValueError("step() before start_fires()")
+        return self._step_open_loop(bound)
+
+    def finish(self) -> SimulationReport:
+        """The report of a stepped run (after :meth:`step` returned False)."""
+        if self._open is None:
+            raise ValueError("finish() before start_fires()")
+        return self._finish_open_loop()
+
+    def _fires_kwargs(
+        self,
+        population: AgentPopulation,
+        fire_times: np.ndarray,
+        fire_agents: np.ndarray,
+        until: float | None,
+        feedback: FastFeedback | None,
+    ) -> dict:
+        """The open-loop engine arguments for a SoA fire schedule."""
         fire_agents = np.asarray(fire_agents, dtype=np.int64)
         fire_times = np.asarray(fire_times, dtype=np.float64)
         mode = self._admission_mode()
@@ -748,7 +880,7 @@ class FastSimulation:
                     for i, agent, ip in zip(idx.tolist(), agents.tolist(), ips)
                 ]
 
-        return self._run_open_loop(
+        return dict(
             ts=fire_times,
             class_names=list(population.profile_names),
             class_ids=class_ids,
@@ -763,7 +895,13 @@ class FastSimulation:
             link_base=link_base,
         )
 
-    def _run_open_loop(
+    def _run_open_loop(self, **kwargs) -> SimulationReport:
+        """The shared open-loop engine behind :meth:`run`/:meth:`run_fires`."""
+        self._start_open_loop(**kwargs)
+        self._step_open_loop(None)
+        return self._finish_open_loop()
+
+    def _start_open_loop(
         self,
         *,
         ts: np.ndarray,
@@ -778,12 +916,10 @@ class FastSimulation:
         feedback: FastFeedback | None = None,
         link_qids: np.ndarray | None = None,
         link_base: np.ndarray | None = None,
-    ) -> SimulationReport:
-        """The shared open-loop engine behind :meth:`run`/:meth:`run_fires`."""
+    ) -> None:
+        """Reset run state and push the initial arrival schedule."""
         self._reset()
         n = int(ts.size)
-        model = self.server_model
-        ttl = self.framework.config.pow.ttl
         cpu_free = np.zeros(n_agents)
         hash_rate = self._per_class(class_names, self.hash_rates, self.default_hash_rate)
         patience = self._per_class(class_names, self.patiences, 30.0)
@@ -823,11 +959,36 @@ class FastSimulation:
         if get_scores is None and scores is not None:
             get_scores = lambda idx, at: scores[idx]  # noqa: E731
 
+        self._open = _OpenLoopState(
+            ts=ts,
+            class_names=class_names,
+            class_ids=class_ids,
+            agent_ids=agent_ids,
+            cpu_free=cpu_free,
+            hash_rate=hash_rate,
+            patience=patience,
+            get_scores=get_scores,
+            requests_of=requests_of,
+            until=until,
+            feedback=feedback,
+            link_qids=link_qids,
+            link_base=link_base,
+            n=n,
+            model=self.server_model,
+            ttl=self.framework.config.pow.ttl,
+        )
+
+    def _step_open_loop(self, bound: float | None) -> bool:
+        """Drain cohorts up to ``bound``; True while events remain."""
+        st = self._open
+        until = st.until
         timer = self.phase_timer
         while self._queue:
             peek = self._queue.peek_time()
             if until is not None and peek > until:
-                break
+                return False
+            if bound is not None and peek > bound:
+                return True
             when, segments = self._queue.pop_cohort()
             self._touch(when)
             for kind, payload in _merge_segments(segments):
@@ -836,52 +997,52 @@ class FastSimulation:
                     self._process_arrivals(
                         when,
                         payload,
-                        ts=ts,
-                        class_names=class_names,
-                        class_ids=class_ids,
-                        agent_ids=agent_ids,
-                        cpu_free=cpu_free,
-                        hash_rate=hash_rate,
-                        patience=patience,
-                        get_scores=get_scores,
-                        requests_of=requests_of,
+                        ts=st.ts,
+                        class_names=st.class_names,
+                        class_ids=st.class_ids,
+                        agent_ids=st.agent_ids,
+                        cpu_free=st.cpu_free,
+                        hash_rate=st.hash_rate,
+                        patience=st.patience,
+                        get_scores=st.get_scores,
+                        requests_of=st.requests_of,
                         until=until,
-                        link_qids=link_qids,
-                        link_base=link_base,
+                        link_qids=st.link_qids,
+                        link_base=st.link_base,
                     )
                 elif kind == "xmit":
                     self._process_xmit(
                         when,
                         payload,
-                        ts=ts,
-                        class_ids=class_ids,
-                        patience=patience,
-                        link_qids=link_qids,
-                        link_base=link_base,
+                        ts=st.ts,
+                        class_ids=st.class_ids,
+                        patience=st.patience,
+                        link_qids=st.link_qids,
+                        link_base=st.link_base,
                     )
                 elif kind == "xmitsol":
                     self._process_xmitsol(
                         when,
                         payload,
-                        ts=ts,
-                        class_ids=class_ids,
-                        class_names=class_names,
-                        link_qids=link_qids,
-                        link_base=link_base,
+                        ts=st.ts,
+                        class_ids=st.class_ids,
+                        class_names=st.class_names,
+                        link_qids=st.link_qids,
+                        link_base=st.link_base,
                     )
                 else:  # solution
                     self._process_solutions(
                         when,
                         payload,
-                        ts=ts,
-                        class_ids=class_ids,
-                        class_names=class_names,
-                        agent_ids=agent_ids,
-                        ttl=ttl,
-                        model=model,
+                        ts=st.ts,
+                        class_ids=st.class_ids,
+                        class_names=st.class_names,
+                        agent_ids=st.agent_ids,
+                        ttl=st.ttl,
+                        model=st.model,
                         until=until,
-                        feedback=feedback,
-                        link_base=link_base,
+                        feedback=st.feedback,
+                        link_base=st.link_base,
                     )
                 if timer is not None:
                     items = (
@@ -894,12 +1055,15 @@ class FastSimulation:
                         time.perf_counter() - started,
                         items=int(items),
                     )
+        return False
 
-        duration = until if until is not None else self._now
+    def _finish_open_loop(self) -> SimulationReport:
+        st = self._open
+        duration = st.until if st.until is not None else self._now
         return SimulationReport(
             metrics=collector_from_buffers(self._buffers),
             duration=duration,
-            requests=n,
+            requests=st.n,
             events_processed=self.events_processed,
             link_stats=self.link_stats,
         )
@@ -948,6 +1112,11 @@ class FastSimulation:
                 cohort_scores, difficulties = self._admit_framework(
                     requests_of(idx), now=when
                 )
+            if self.decisions is not None:
+                self.decisions.append(
+                    (when, idx.copy(), cohort_scores.copy(),
+                     difficulties.copy())
+                )
             finish = dones + self._delays(k) + base
             self.events_processed += k
             out = self._mask_until(
@@ -975,6 +1144,10 @@ class FastSimulation:
         else:
             cohort_scores, difficulties = self._admit_framework(
                 requests_of(idx), now=[float(t) for t in issue]
+            )
+        if self.decisions is not None:
+            self.decisions.append(
+                (when, idx.copy(), cohort_scores.copy(), difficulties.copy())
             )
 
         receipt = issue + self._delays(k) + base
@@ -1093,7 +1266,7 @@ class FastSimulation:
         idx, issued_at, attempts, difficulties, scores = payload
         k = int(idx.size)
         self.events_processed += k
-        expired = (when - issued_at) > ttl
+        expired = kernels.ttl_mask(when, issued_at, ttl)
         costs = model.verify_cost + np.where(
             expired, 0.0, model.resource_cost
         )

@@ -74,6 +74,12 @@ POLICY_REGISTRY.register("stepwise", StepwisePolicy)
 POLICY_REGISTRY.register("exponential", ExponentialPolicy)
 POLICY_REGISTRY.register("table", TablePolicy)
 POLICY_REGISTRY.register("fixed", FixedPolicy)
+# Registry spelling of the load-adaptive surcharge over the paper's
+# policy-2, so declarative recipes (FrameworkSpec) can request it —
+# notably the parallel driver's cross-shard load exchange.
+POLICY_REGISTRY.register(
+    "adaptive-2", lambda: LoadAdaptivePolicy(inner=policy_2())
+)
 
 
 def paper_policies(epsilon: float = 2.5) -> tuple[

@@ -127,7 +127,16 @@ class ScaleSpec:
         keep the ideal channel-only path.  Two populations naming the
         *same* link profile share one uplink queue — the
         shared-bottleneck case where an attack's volume congests
-        benign clients and its own solution submissions.
+        benign clients and its own solution submissions.  Under
+        ``procs > 1`` each worker owns its own link queues (DESIGN
+        §1.8's envelope): per-agent delays still agree bit-for-bit,
+        but cross-shard coupling through one bottleneck does not.
+    procs:
+        Worker-process count for the hash-sharded parallel driver
+        (:class:`~repro.net.sim.parsim.ParallelSimulation`).  ``1``
+        (the default) keeps the in-process engine; larger values
+        partition agents by packed-IP hash across that many workers.
+        Overridable from the CLI with ``repro campaign --procs N``.
     """
 
     tick: float = 0.005
@@ -137,10 +146,13 @@ class ScaleSpec:
     server: tuple[float, float, float] | None = None
     feedback: bool = False
     links: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    procs: int = 1
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
             raise ValueError(f"tick must be > 0, got {self.tick}")
+        if self.procs < 1:
+            raise ValueError(f"procs must be >= 1, got {self.procs}")
         for profile_name, link_name in self.links.items():
             if link_name not in LINK_PROFILES:
                 raise ValueError(
@@ -398,6 +410,23 @@ CAMPAIGNS: dict[str, CampaignSpec] = {
                     }
                 },
                 server=(1e-5, 5e-6, 5e-5),
+            ),
+        ),
+        CampaignSpec(
+            name="flash-crowd-4m",
+            description="four million users stampede in one wave, "
+            "hash-sharded across four worker processes — the "
+            "multi-core campaign (tune workers with --procs)",
+            duration=5.0,
+            seed=717,
+            populations=(("benign", 4_000_000),),
+            scale=ScaleSpec(
+                tick=0.02,
+                patterns={
+                    "benign": {"kind": "flash", "waves": 1, "jitter": 0.5}
+                },
+                server=(1e-5, 5e-6, 5e-5),
+                procs=4,
             ),
         ),
         CampaignSpec(
@@ -752,6 +781,12 @@ def _run_mega_campaign(
     rng = np.random.default_rng(campaign.seed ^ 0x3AB)
     fire_times, fire_agents = _build_fires(campaign, population, rng)
 
+    if scale.procs > 1:
+        return _run_mega_parallel(
+            campaign, population, fire_times, fire_agents,
+            snapshot_path=snapshot_path,
+        )
+
     framework = campaign.spec.build()
     solve_deciders = {
         profile_name: make_attacker(attacker_spec)
@@ -813,17 +848,7 @@ def _run_mega_campaign(
     if report.link_stats is not None:
         report.link_stats.publish(registry)
 
-    rows = []
-    for cls in report.metrics.class_names():
-        metrics = report.metrics.for_class(cls)
-        rows.append(
-            [
-                cls,
-                metrics.total,
-                metrics.goodput_fraction,
-                metrics.difficulties.mean,
-            ]
-        )
+    rows = _mega_rows(report)
     events_per_second = (
         report.events_processed / wall if wall > 0 else 0.0
     )
@@ -841,24 +866,9 @@ def _run_mega_campaign(
     if report.link_stats is not None:
         notes.append(f"network: {report.link_stats.summary()}")
     if feedback is not None:
-        # "Farming" means the *attackers* earning reward offsets;
-        # benign clients accumulate them too simply by being served,
-        # so count only agents from attacker-backed profiles.
-        attacker_ids = [
-            pid
-            for pid, profile in enumerate(population.profiles)
-            if profile.name in campaign.attackers
-        ]
-        attacker_mask = np.isin(population.profile_id, attacker_ids)
-        offsets = feedback.offset[attacker_mask]
-        if offsets.size:
-            farmed = int(np.sum(offsets < -1e-12))
-            notes.append(
-                f"feedback offsets farmed by {farmed:,} of "
-                f"{offsets.size:,} attacking clients "
-                f"(attacker mean offset {float(offsets.mean()):+.3f}, "
-                f"population mean {float(feedback.offset.mean()):+.3f})"
-            )
+        farming = _farming_note(campaign, population, feedback.offset)
+        if farming is not None:
+            notes.append(farming)
     result = ExperimentResult(
         experiment_id=f"campaign:{campaign.name}",
         title=f"Campaign {campaign.name!r} - {campaign.description}",
@@ -874,6 +884,146 @@ def _run_mega_campaign(
             "events_per_second": events_per_second,
             "phase_timings": phase_timer.summary(),
             "metrics_snapshot": registry.snapshot(),
+            **(
+                {"link_stats": report.link_stats.as_dict()}
+                if report.link_stats is not None
+                else {}
+            ),
+        },
+    )
+    return CampaignRun(
+        spec=campaign, trace=None, result=result, probe_outcome=None
+    )
+
+
+def _mega_rows(report) -> list[list]:
+    """Per-class result rows shared by both scale-campaign engines."""
+    rows = []
+    for cls in report.metrics.class_names():
+        metrics = report.metrics.for_class(cls)
+        rows.append(
+            [
+                cls,
+                metrics.total,
+                metrics.goodput_fraction,
+                metrics.difficulties.mean,
+            ]
+        )
+    return rows
+
+
+def _farming_note(campaign, population, offsets) -> str | None:
+    """The feedback reward-farming summary line, or ``None``.
+
+    "Farming" means the *attackers* earning reward offsets; benign
+    clients accumulate them too simply by being served, so count only
+    agents from attacker-backed profiles.
+    """
+    import numpy as np
+
+    attacker_ids = [
+        pid
+        for pid, profile in enumerate(population.profiles)
+        if profile.name in campaign.attackers
+    ]
+    attacker_mask = np.isin(population.profile_id, attacker_ids)
+    attacker_offsets = offsets[attacker_mask]
+    if not attacker_offsets.size:
+        return None
+    farmed = int(np.sum(attacker_offsets < -1e-12))
+    return (
+        f"feedback offsets farmed by {farmed:,} of "
+        f"{attacker_offsets.size:,} attacking clients "
+        f"(attacker mean offset {float(attacker_offsets.mean()):+.3f}, "
+        f"population mean {float(offsets.mean()):+.3f})"
+    )
+
+
+def _run_mega_parallel(
+    campaign: CampaignSpec,
+    population,
+    fire_times,
+    fire_agents,
+    snapshot_path=None,
+) -> CampaignRun:
+    """Run a ``scale`` campaign through the process-parallel driver."""
+    from repro.net.sim.parsim import (
+        ParallelSimulation,
+        render_phase_summary,
+    )
+
+    scale = campaign.scale
+    if snapshot_path is not None:
+        raise ValueError(
+            f"campaign {campaign.name!r} runs {scale.procs} worker "
+            "processes: the periodic snapshot writer samples the "
+            "in-process engine, which a parallel run never builds — "
+            "use --procs 1 for live snapshots"
+        )
+    simulation = ParallelSimulation(
+        campaign.spec,
+        procs=scale.procs,
+        seed=campaign.seed ^ 0x5CE4,
+        server=scale.server,
+        attacker_specs=campaign.attackers,
+        hash_rates={p.name: p.hash_rate for p in population.profiles},
+        patiences={p.name: p.patience for p in population.profiles},
+        tick=scale.tick,
+        links=scale.links,
+        links_seed=campaign.seed ^ 0x11AB,
+        feedback=scale.feedback,
+    )
+    started = time.perf_counter()
+    outcome = simulation.run_fires(population, fire_times, fire_agents)
+    wall = time.perf_counter() - started
+    report = outcome.report
+
+    rows = _mega_rows(report)
+    events_per_second = (
+        report.events_processed / wall if wall > 0 else 0.0
+    )
+    phase_timings = outcome.phase_summary()
+    notes = [
+        f"{campaign.agents:,} agents, {report.requests:,} requests over "
+        f"{campaign.duration:g}s simulated",
+        f"parallel engine: {wall:.2f}s wall, "
+        f"{events_per_second:,.0f} events/s, "
+        f"{scale.procs} workers x {outcome.epoch:g}s epochs, "
+        f"{outcome.arrival_batches} arrival cohorts "
+        f"(largest {outcome.largest_arrival_batch:,}), "
+        f"tick {scale.tick:g}s",
+        "shard requests: "
+        + ", ".join(f"{n:,}" for n in outcome.shard_requests),
+        f"framework recipe hash {spec_hash(campaign.spec)}",
+        f"phase timing (all workers): "
+        f"{render_phase_summary(phase_timings)}",
+    ]
+    if report.link_stats is not None:
+        notes.append(f"network: {report.link_stats.summary()}")
+    if outcome.feedback_offsets is not None:
+        farming = _farming_note(
+            campaign, population, outcome.feedback_offsets
+        )
+        if farming is not None:
+            notes.append(farming)
+    result = ExperimentResult(
+        experiment_id=f"campaign:{campaign.name}",
+        title=f"Campaign {campaign.name!r} - {campaign.description}",
+        headers=["class", "requests", "goodput", "mean_difficulty"],
+        rows=rows,
+        notes=notes,
+        extra={
+            "agents": campaign.agents,
+            "requests": report.requests,
+            "served": report.served,
+            "events": report.events_processed,
+            "wall_seconds": wall,
+            "events_per_second": events_per_second,
+            "procs": scale.procs,
+            "epoch": outcome.epoch,
+            "shard_requests": list(outcome.shard_requests),
+            "phase_timings": phase_timings,
+            "metrics_snapshot": outcome.metrics_snapshot,
             **(
                 {"link_stats": report.link_stats.as_dict()}
                 if report.link_stats is not None

@@ -119,7 +119,9 @@ class TestReadme:
             for opt in action.option_strings
         }
         readme = read("README.md")
-        for flag in ("--link", "--list-links", "--record", "--list"):
+        for flag in (
+            "--link", "--list-links", "--record", "--list", "--procs",
+        ):
             assert flag in real_options, (
                 f"README documents campaign flag {flag} which the "
                 "parser does not define"
@@ -136,7 +138,8 @@ class TestDesignDoc:
         design = read("DESIGN.md")
         promised = set(
             re.findall(
-                r"\| `((?:fig|cal|acc|thr|abl|ons|mega|net)[\w-]*)` \|",
+                r"\| `((?:fig|cal|acc|thr|abl|ons|mega|net|par|ker)"
+                r"[\w-]*)` \|",
                 design,
             )
         )

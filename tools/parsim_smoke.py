@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI smoke: the process-parallel driver agrees with one process.
+
+Runs a 50k-agent flash-crowd workload twice — once through the
+single-process ``FastSimulation`` and once through the hash-sharded
+``ParallelSimulation`` at two workers — and requires the decision
+aggregates to agree (request counts and difficulty extremes exactly,
+means to accumulation noise).  The harness raises on divergence, so
+the smoke's job is mostly to run it in a real multi-process
+environment and surface the table.
+
+Hosts exposing fewer than two CPUs skip (exit 0): time-shared workers
+still produce correct results, but a speed-blind single-core run
+duplicates what the tier-1 suite already covers.
+
+.. code-block:: bash
+
+    PYTHONPATH=src python tools/parsim_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def main() -> int:
+    cores = usable_cores()
+    if cores < 2:
+        print(f"parsim smoke SKIPPED: host exposes {cores} CPU(s)")
+        return 0
+
+    sys.path.insert(0, str(SRC))
+    from repro.bench.megasim import MegasimConfig
+    from repro.bench.parsim import ParsimConfig, run_parsim_throughput
+
+    config = ParsimConfig(
+        workload=MegasimConfig(
+            agents=50_000, duration=1.0, tick=0.02, seed=0xBA11
+        ),
+        procs=2,
+    )
+    result = run_parsim_throughput(config)
+    print(result.render())
+    print(
+        f"parsim smoke OK: decisions agree at {config.procs} workers, "
+        f"speedup {result.extra['speedup']:.2f}x on {cores} core(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
