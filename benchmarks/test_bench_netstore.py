@@ -1,0 +1,87 @@
+"""Bench: the networked admission state store's acceptance gates.
+
+Three properties the `thr-netshard` experiment must prove on every run:
+
+* **Parity** — a stateful campaign through a cluster of state servers
+  decides bit-identically to the in-process sharded store.
+* **Restart survival** — a snapshot-backed server restarted mid-load
+  loses nothing; the client's idempotent retries bridge the outage.
+* **Minimal-motion reshard** — growing N -> N+1 nodes moves only the
+  keys whose ring owner changed (within slack of the ideal 1/(N+1)
+  fraction), with zero lost and zero misrouted keys.
+
+The pytest-benchmark variant archives the remote campaign's absolute
+cost for the nightly regression check (BENCH_baseline.json).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.netstore import (
+    NetstoreConfig,
+    run_netstore_throughput,
+    run_parity_campaign,
+    run_reshard_drill,
+    run_restart_drill,
+)
+
+#: The ring is probabilistic: with 64 virtual nodes per shard the
+#: moved fraction lands near 1/(N+1) but not exactly on it.
+MOVED_FRACTION_SLACK = 2.0
+
+
+@pytest.mark.slow
+def test_netstore_acceptance_gates():
+    """All three phases pass in one experiment run."""
+    config = NetstoreConfig()
+    result = run_netstore_throughput(config)
+
+    assert result.extra["parity_identical"] == 1.0
+    assert result.extra["restart_lost"] == 0.0
+    assert result.extra["reshard_lost"] == 0.0
+    assert result.extra["reshard_misrouted"] == 0.0
+    # Only the ring delta moved, and the delta itself is near-minimal.
+    assert result.extra["reshard_moved_fraction"] == (
+        result.extra["reshard_ring_delta_fraction"]
+    )
+    ideal = result.extra["ideal_moved_fraction"]
+    assert result.extra["reshard_moved_fraction"] <= (
+        ideal * MOVED_FRACTION_SLACK
+    ), result.extra
+
+
+@pytest.mark.slow
+def test_restart_drill_is_lossless_with_tight_margins():
+    """The restart gate alone, at a size that forces mid-write outage."""
+    import tempfile
+
+    config = NetstoreConfig(restart_entries=500)
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        outcome = run_restart_drill(config, tmp_dir)
+    assert outcome["lost"] == 0, outcome
+    assert outcome["survived"] == config.restart_entries
+
+
+@pytest.mark.slow
+def test_reshard_is_minimal_and_exact():
+    """The reshard gate alone, with a bigger keyspace."""
+    outcome = run_reshard_drill(NetstoreConfig(reshard_entries=1200))
+    assert outcome["lost"] == 0, outcome
+    assert outcome["misrouted"] == 0, outcome
+    assert outcome["moved"] == outcome["ring_delta"], outcome
+
+
+@pytest.mark.slow
+def test_networked_campaign_cost(benchmark):
+    """Archive the remote parity campaign's absolute cost."""
+    config = NetstoreConfig()
+
+    def run():
+        return run_parity_campaign(config)
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert outcome["identical"], outcome
+    benchmark.extra_info["requests"] = outcome["requests"]
+    benchmark.extra_info["remote_rps"] = outcome["remote_rps"]
+    benchmark.extra_info["local_rps"] = outcome["local_rps"]

@@ -82,6 +82,12 @@ def _replay_throughput_result() -> ExperimentResult:
     return run_replay_throughput()
 
 
+def _netstore_throughput_result() -> ExperimentResult:
+    from repro.bench.netstore import run_netstore_throughput
+
+    return run_netstore_throughput()
+
+
 def _megasim_result() -> ExperimentResult:
     from repro.bench.megasim import run_megasim_throughput
 
@@ -112,6 +118,7 @@ EXPERIMENTS["thr-batch"] = _batch_throughput_result
 EXPERIMENTS["thr-live"] = _live_throughput_result
 EXPERIMENTS["thr-shard"] = _shard_throughput_result
 EXPERIMENTS["thr-replay"] = _replay_throughput_result
+EXPERIMENTS["thr-netshard"] = _netstore_throughput_result
 EXPERIMENTS["megasim"] = _megasim_result
 EXPERIMENTS["netsim"] = _netsim_result
 EXPERIMENTS["parsim"] = _parsim_result

@@ -12,9 +12,11 @@ interactive modes:
 * ``serve``     — run the live TCP server in the foreground (one
   process, or ``--workers N`` gateway worker processes sharded by
   client-IP hash; SIGTERM drains gracefully either way);
-* ``state``     — admission-state snapshot tooling: merge a serve
+* ``state``     — admission-state tooling: merge a serve
   ``--state-dir`` into one snapshot file, re-split a snapshot for a
-  different worker count, or inspect either;
+  different worker count, inspect either, host a store over the
+  network (``state serve``) or reshape a multi-node store live
+  (``state topology``);
 * ``record``    — capture a campaign workload's admission decisions as
   a replayable v2 trace (simulator, live gateway, or live cluster);
 * ``replay``    — feed a recorded trace back through any serving
@@ -109,9 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="gateway: bound on queued admissions before shedding",
     )
     serve.add_argument(
-        "--shed-policy", choices=("drop-newest", "drop-reputation"),
+        "--shed-policy",
+        choices=(
+            "drop-newest", "drop-reputation", "drop-global-reputation"
+        ),
         default="drop-newest",
-        help="gateway: victim selection when the queue is full",
+        help="gateway: victim selection when the queue is full "
+             "(drop-global-reputation needs --state-server)",
     )
     serve.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -122,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir", default=None, metavar="DIR",
         help="restore admission state from DIR's shard snapshots at boot "
              "and rewrite them at graceful shutdown (gateway modes only)",
+    )
+    serve.add_argument(
+        "--state-server", default=None, metavar="ADDR[,ADDR...]",
+        help="keep admission state on running `repro state serve` "
+             "node(s) (host:port or unix:/path; several addresses form "
+             "a consistent-hash multi-node store) instead of in-process "
+             "dicts; workers survive restarts statefully and may share "
+             "reputation (cluster mode only, excludes --state-dir)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the consistent-hash ring "
+             "(must match the ring the state was written under)",
     )
     serve.add_argument(
         "--record", default=None, metavar="FILE",
@@ -149,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     state = sub.add_parser(
-        "state", help="admission-state snapshot tooling"
+        "state", help="admission-state snapshot and network tooling"
     )
     state_sub = state.add_subparsers(dest="state_command", required=True)
     snap = state_sub.add_parser(
@@ -166,10 +185,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="merged snapshot produced by `state snapshot`")
     restore.add_argument("--state-dir", required=True, metavar="DIR")
     restore.add_argument("--workers", type=int, default=1, metavar="N")
+    restore.add_argument(
+        "--replicas", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the split ring (recorded in "
+             "the shard files; must match at `serve --state-dir` time)",
+    )
     show = state_sub.add_parser(
         "show", help="summarise a snapshot file or a state directory"
     )
     show.add_argument("path", help="snapshot file or state directory")
+    state_serve = state_sub.add_parser(
+        "serve",
+        help="host an admission state store over TCP/AF_UNIX for "
+             "`serve --state-server` workers",
+    )
+    state_serve.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="ADDR",
+        help="listen address: host:port (port 0 picks a free port) or "
+             "unix:/path (default 127.0.0.1:0)",
+    )
+    state_serve.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="restore the store from FILE at boot (if it exists) and "
+             "rewrite it at graceful shutdown",
+    )
+    state_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /summary on this port "
+             "(0 picks a free port)",
+    )
+    topo = state_sub.add_parser(
+        "topology",
+        help="inspect or reshape a multi-node state cluster live "
+             "(hands off only the moved keyspace slice)",
+    )
+    topo.add_argument(
+        "--nodes", required=True, metavar="ADDR[,ADDR...]",
+        help="current cluster membership, in ring order",
+    )
+    topo.add_argument(
+        "--add", default=None, metavar="ADDR",
+        help="grow: reshard onto the cluster plus this node",
+    )
+    topo.add_argument(
+        "--remove", default=None, metavar="ADDR",
+        help="shrink: drain this node's keyspace onto the rest",
+    )
+    topo.add_argument(
+        "--replicas", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the consistent-hash ring",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="closed-form policy comparison and synthesis"
@@ -477,6 +542,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.state_dir and args.workers == 1 and not args.gateway:
         print("--state-dir requires --gateway or --workers > 1")
         return 2
+    if args.state_server and args.workers == 1:
+        print("--state-server requires --workers > 1 (cluster mode)")
+        return 2
+    if args.state_server and args.state_dir:
+        print("--state-server and --state-dir are exclusive: state "
+              "lives on the server(s), not in local shard files")
+        return 2
+    if (
+        args.shed_policy == "drop-global-reputation"
+        and not args.state_server
+    ):
+        print("--shed-policy drop-global-reputation needs "
+              "--state-server (the global view lives there)")
+        return 2
+    if args.replicas < 1:
+        print(f"--replicas must be >= 1, got {args.replicas}")
+        return 2
     if args.trace_every < 1:
         print(f"--trace-every must be >= 1, got {args.trace_every}")
         return 2
@@ -526,6 +608,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             shed_policy=args.shed_policy,
             state_dir=args.state_dir,
+            state_server=args.state_server,
+            replicas=args.replicas,
             record_path=args.record,
             metrics_port=args.metrics_port,
             trace_every=args.trace_every if args.trace_out else 0,
@@ -537,6 +621,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"window {args.batch_window * 1000:g} ms, "
             f"queue<={args.queue_limit}, {args.shed_policy}"
             + (f", state {args.state_dir}" if args.state_dir else "")
+            + (
+                f", state-server {args.state_server}"
+                if args.state_server else ""
+            )
             + ")"
         )
         metrics = None
@@ -731,6 +819,103 @@ def _cmd_state(args: argparse.Namespace) -> int:
         write_shard_files,
     )
 
+    if args.state_command == "serve":
+        from repro.obs.registry import MetricsRegistry
+        from repro.state.net import StateServer
+
+        registry = MetricsRegistry()
+        server = StateServer(
+            address=args.bind,
+            snapshot_path=args.snapshot,
+            registry=registry,
+        )
+        shutdown = _install_shutdown_signals()
+        try:
+            server.start()
+        except (ValueError, OSError) as exc:
+            print(exc)
+            return 2
+        metrics_server = None
+        try:
+            print(
+                f"serving admission state on {server.address}"
+                + (f" (snapshot {args.snapshot})" if args.snapshot else "")
+                + "; Ctrl-C or SIGTERM to stop",
+                flush=True,
+            )
+            if args.metrics_port is not None:
+                from repro.obs.http import MetricsHTTPServer
+
+                host = server.address.split(":", 1)[0]
+                if host.startswith("unix"):
+                    host = "127.0.0.1"
+                metrics_server = MetricsHTTPServer(
+                    registry.snapshot, host=host, port=args.metrics_port
+                ).start()
+                print(f"metrics on {metrics_server.url}/metrics",
+                      flush=True)
+            shutdown.wait()
+            print("\nshutting down")
+        finally:
+            server.stop()
+            if metrics_server is not None:
+                metrics_server.close()
+        if args.snapshot:
+            print(f"state written to {args.snapshot}")
+        return 0
+
+    if args.state_command == "topology":
+        from repro.state.net import MultiNodeStateStore
+
+        nodes = [
+            part.strip() for part in args.nodes.split(",") if part.strip()
+        ]
+        if not nodes:
+            print(f"no addresses in --nodes {args.nodes!r}")
+            return 2
+        if args.add and args.remove:
+            print("--add and --remove are exclusive; apply one change "
+                  "at a time")
+            return 2
+        try:
+            store = MultiNodeStateStore(nodes, replicas=args.replicas)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        try:
+            if args.add is None and args.remove is None:
+                for node in store.nodes:
+                    topology = node.topology()
+                    print(
+                        f"{node.address}: epoch "
+                        f"{topology.get('epoch', 0)}, "
+                        f"{len(node)} entries"
+                    )
+                return 0
+            if args.add is not None:
+                if args.add in nodes:
+                    print(f"{args.add} is already a member")
+                    return 2
+                target = nodes + [args.add]
+            else:
+                if args.remove not in nodes:
+                    print(f"{args.remove} is not a member of {nodes}")
+                    return 2
+                target = [n for n in nodes if n != args.remove]
+                if not target:
+                    print("cannot remove the last node")
+                    return 2
+            report = store.apply_topology(target)
+        except (ConnectionError, OSError, ValueError) as exc:
+            print(exc)
+            return 2
+        finally:
+            store.close()
+        print(report.summary())
+        for address, moved in report.per_node:
+            print(f"  -> {address}: {moved} entries received")
+        return 0
+
     if args.state_command == "snapshot":
         try:
             shards = read_shard_files(args.state_dir)
@@ -755,10 +940,15 @@ def _cmd_state(args: argparse.Namespace) -> int:
         if args.workers < 1:
             print(f"--workers must be >= 1, got {args.workers}")
             return 2
+        if args.replicas < 1:
+            print(f"--replicas must be >= 1, got {args.replicas}")
+            return 2
         try:
             merged = load_snapshot(args.snapshot)
-            parts = split_snapshot(merged, args.workers)
-            paths = write_shard_files(args.state_dir, parts)
+            parts = split_snapshot(merged, args.workers, args.replicas)
+            paths = write_shard_files(
+                args.state_dir, parts, replicas=args.replicas
+            )
         except (ValueError, OSError) as exc:
             print(exc)
             return 2

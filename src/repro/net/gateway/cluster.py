@@ -48,7 +48,11 @@ import threading
 from repro.core.spec import FrameworkSpec
 from repro.metrics.collector import GatewayMetrics, aggregate_gateway_summaries
 from repro.net.gateway.server import GatewayServer
-from repro.net.gateway.shedding import DropByReputationPrior, DropNewest
+from repro.net.gateway.shedding import (
+    DropByGlobalReputation,
+    DropByReputationPrior,
+    DropNewest,
+)
 from repro.net.live import protocol
 from repro.state import (
     HashRing,
@@ -83,13 +87,50 @@ _SPANS = b"T"
 _SPAN_CHUNK = 100
 
 
-def make_shed_policy(name: str):
-    """Shed policy from its CLI name (specs cross process boundaries)."""
+def make_shed_policy(name: str, store=None):
+    """Shed policy from its CLI name (specs cross process boundaries).
+
+    ``drop-global-reputation`` needs the worker's (shared) state store;
+    the other policies ignore ``store``.
+    """
     if name == "drop-reputation":
         return DropByReputationPrior()
     if name == "drop-newest":
         return DropNewest()
+    if name == DropByGlobalReputation.name:
+        if store is None:
+            raise ValueError(
+                f"{name!r} needs a shared state store (--state-server)"
+            )
+        return DropByGlobalReputation(store)
     raise ValueError(f"unknown shed policy {name!r}")
+
+
+def make_worker_store(options: dict, registry=None):
+    """The state store one gateway worker builds from cluster options.
+
+    ``state_server`` (one ``host:port``/``unix:/path`` address, or a
+    comma-separated list ring-sharded client-side) selects the
+    networked backend; otherwise each worker owns a private
+    :class:`~repro.state.InMemoryStateStore`.
+    """
+    state_server = options.get("state_server")
+    if not state_server:
+        return InMemoryStateStore()
+    from repro.state.net import MultiNodeStateStore, RemoteStateStore
+
+    addresses = [
+        part.strip() for part in state_server.split(",") if part.strip()
+    ]
+    if not addresses:
+        raise ValueError(f"no addresses in state_server={state_server!r}")
+    if len(addresses) == 1:
+        return RemoteStateStore(addresses[0], registry=registry)
+    return MultiNodeStateStore(
+        addresses,
+        replicas=int(options.get("replicas", 64)),
+        registry=registry,
+    )
 
 
 class ShardWorker:
@@ -123,11 +164,16 @@ class ShardWorker:
     # -- lifecycle -----------------------------------------------------
     def run(self) -> int:
         """Build the shard's framework, serve until shutdown; exit 0."""
-        store = InMemoryStateStore()
+        store = make_worker_store(self.options, registry=self.registry)
         framework = self.spec.build(store=store)
         state_dir = self.options.get("state_dir")
         if state_dir:
-            snapshot = read_shard_file(state_dir, self.shard, self.shards)
+            snapshot = read_shard_file(
+                state_dir,
+                self.shard,
+                self.shards,
+                replicas=int(self.options.get("replicas", 64)),
+            )
             if snapshot is not None:
                 framework.restore(snapshot)
         recorder = None
@@ -151,7 +197,7 @@ class ShardWorker:
             batch_window=self.options.get("batch_window", 0.002),
             queue_limit=self.options.get("queue_limit", 256),
             shed_policy=make_shed_policy(
-                self.options.get("shed_policy", "drop-newest")
+                self.options.get("shed_policy", "drop-newest"), store=store
             ),
             io_timeout=self.options.get("io_timeout", 30.0),
             metrics=self.metrics,
@@ -165,7 +211,11 @@ class ShardWorker:
         asyncio.run(self._serve())
         if state_dir:
             write_shard_file(
-                state_dir, self.shard, self.shards, framework.snapshot()
+                state_dir,
+                self.shard,
+                self.shards,
+                framework.snapshot(),
+                replicas=int(self.options.get("replicas", 64)),
             )
         if recorder is not None:
             import dataclasses
@@ -182,6 +232,9 @@ class ShardWorker:
                 },
             )
         self._ship_metrics()
+        close = getattr(store, "close", None)
+        if close is not None:
+            close()
         return 0
 
     async def _serve(self) -> None:
@@ -324,6 +377,15 @@ class GatewayCluster:
         Directory of per-shard state snapshots: each worker restores
         its ``shard-I-of-N.json`` at boot (when present) and rewrites
         it at graceful shutdown.
+    state_server:
+        Address(es) of a running ``repro state serve`` instance — one
+        ``host:port``/``unix:/path``, or a comma-separated list placed
+        by consistent hash (:class:`~repro.state.MultiNodeStateStore`).
+        Every worker shares the store, so behavioural offsets, cached
+        scores, replay protection and the adaptive load posture become
+        cluster-global and survive worker restarts; also enables the
+        ``drop-global-reputation`` shed policy.  Mutually exclusive
+        with ``state_dir`` (the server owns persistence).
     record_path:
         When set, every worker records its admission decisions
         (:class:`~repro.replay.TraceRecorder`) and writes a partial
@@ -376,6 +438,7 @@ class GatewayCluster:
         shed_policy: str = "drop-newest",
         io_timeout: float = 30.0,
         state_dir=None,
+        state_server: str | None = None,
         record_path=None,
         drain_grace: float = 5.0,
         replicas: int = 64,
@@ -391,7 +454,20 @@ class GatewayCluster:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if trace_every < 0:
             raise ValueError(f"trace_every must be >= 0, got {trace_every}")
-        make_shed_policy(shed_policy)  # validate the name up front
+        if state_server and state_dir:
+            raise ValueError(
+                "state_dir and state_server are mutually exclusive: with a "
+                "networked store the server owns persistence "
+                "(repro state serve --snapshot)"
+            )
+        if shed_policy == DropByGlobalReputation.name:
+            # Needs the shared store; workers build it per process.
+            if not state_server:
+                raise ValueError(
+                    f"shed policy {shed_policy!r} needs --state-server"
+                )
+        else:
+            make_shed_policy(shed_policy)  # validate the name up front
         self.spec = spec
         self.workers = workers
         self.host = host
@@ -407,6 +483,8 @@ class GatewayCluster:
             "shed_policy": shed_policy,
             "io_timeout": io_timeout,
             "state_dir": os.fspath(state_dir) if state_dir else None,
+            "state_server": state_server or None,
+            "replicas": replicas,
             "record_path": os.fspath(record_path) if record_path else None,
             "drain_grace": drain_grace,
             # Workers only pay for snapshot publication when something

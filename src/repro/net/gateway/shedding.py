@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import time
 from typing import Callable, Protocol, Sequence
 
 from repro.core.records import ClientRequest
@@ -26,6 +27,7 @@ __all__ = [
     "ShedPolicy",
     "DropNewest",
     "DropByReputationPrior",
+    "DropByGlobalReputation",
 ]
 
 
@@ -134,6 +136,89 @@ class DropByReputationPrior:
         worst = prior(incoming.request)
         for pending in queued:
             score = prior(pending.request)
+            if score > worst:
+                victim, worst = pending, score
+        return victim
+
+
+class DropByGlobalReputation:
+    """Shed by *cluster-wide* behavioural reputation from a shared store.
+
+    The in-queue multiplicity prior only sees one worker's queue: a
+    botnet spraying connections across shards keeps per-queue
+    multiplicity low everywhere and hides from it.  When workers share
+    an admission state store (``--state-server``), the feedback
+    namespace already holds every client's behavioural offset — this
+    policy consults it, so overload on one shard sheds by the *global*
+    reputation a client earned anywhere in the cluster.
+
+    Offsets are cached per IP for ``cache_ttl`` seconds, bounding the
+    shed path to at most one store round trip per distinct address per
+    TTL window (a shed decision tolerates slightly stale reputation;
+    an unbounded-latency shed path would not tolerate a lookup per
+    queued entry per decision).  Primary key is the cached offset
+    (higher = more hostile = shed first); in-queue multiplicity breaks
+    offset ties, and full ties go to the incoming request so an
+    all-neutral queue degrades to drop-newest.
+    """
+
+    name = "drop-global-reputation"
+
+    #: Offsets cached at most this many distinct IPs; beyond it the
+    #: oldest half is dropped (a shed storm from few IPs stays cheap).
+    cache_limit = 4096
+
+    def __init__(
+        self,
+        store,
+        *,
+        namespace: str = "feedback",
+        cache_ttl: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if cache_ttl < 0:
+            raise ValueError(f"cache_ttl must be >= 0, got {cache_ttl}")
+        self._states = store.namespace(namespace)
+        self.cache_ttl = cache_ttl
+        self._clock = clock
+        self._cache: dict[str, tuple[float, float]] = {}
+
+    def _offset(self, client_ip: str) -> float:
+        now = self._clock()
+        hit = self._cache.get(client_ip)
+        if hit is not None and now - hit[0] <= self.cache_ttl:
+            return hit[1]
+        state = self._states.get(client_ip)
+        offset = float(state[0]) if state else 0.0
+        if len(self._cache) >= self.cache_limit:
+            for stale in list(self._cache)[: self.cache_limit // 2]:
+                del self._cache[stale]
+        self._cache[client_ip] = (now, offset)
+        return offset
+
+    def select_victim(
+        self,
+        queued: Sequence[PendingAdmission],
+        incoming: PendingAdmission,
+    ) -> PendingAdmission:
+        counts: dict[str, int] = {}
+        for pending in queued:
+            ip = pending.request.client_ip
+            counts[ip] = counts.get(ip, 0) + 1
+        ip = incoming.request.client_ip
+        counts[ip] = counts.get(ip, 0) + 1
+
+        def rank(pending: PendingAdmission) -> tuple[float, int]:
+            request = pending.request
+            return (
+                self._offset(request.client_ip),
+                counts[request.client_ip],
+            )
+
+        victim = incoming
+        worst = rank(incoming)
+        for pending in queued:
+            score = rank(pending)
             if score > worst:
                 victim, worst = pending, score
         return victim

@@ -95,6 +95,21 @@ METRIC_CATALOG: dict[str, str] = {
     "sim_phase_cohorts_total": "Cohorts the vectorized engine processed per phase",
     "sim_phase_items_total": "Items (events) processed per engine phase",
     "trace_spans_total": "Completed trace spans, labelled by outcome",
+    "netstore_server_requests_total": (
+        "State-server requests handled, labelled by op"
+    ),
+    "netstore_client_requests_total": (
+        "State-client requests issued, labelled by op"
+    ),
+    "netstore_client_retries_total": (
+        "State-client retries after transport failures"
+    ),
+    "netstore_client_timeouts_total": (
+        "State-client requests abandoned on timeout"
+    ),
+    "netstore_handoff_bytes_total": (
+        "Snapshot bytes moved between nodes during resharding"
+    ),
 }
 
 

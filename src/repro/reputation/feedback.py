@@ -189,23 +189,25 @@ class FeedbackReputationModel:
                 self._evict_smallest()
             state = self._states.setdefault(ip, [0.0, when])
         current = self._decayed(state, when)
+        changed = True
 
         if response.status in self._BAD:
             current = min(
                 current + self.config.penalty_step, self.config.max_penalty
             )
-            changed = True
         elif response.status is ResponseStatus.SERVED:
             current = max(
                 current - self.config.reward_step, -self.config.max_reward
             )
-            changed = True
         else:
             # ABANDONED / EXPIRED are ambiguous (patience, network) — neutral.
             changed = False
 
-        state[_OFFSET] = current
-        state[_UPDATED_AT] = when
+        # Explicit write-back instead of in-place list mutation: a remote
+        # namespace hands out deserialized copies, so mutating ``state``
+        # would silently update nothing.  ``__setitem__`` on an existing
+        # key keeps its position, so local behaviour is unchanged.
+        self._states[ip] = [current, when]
         if changed:
             for listener in self._listeners:
                 listener(ip)
@@ -223,9 +225,11 @@ class FeedbackReputationModel:
 
     def _evict_smallest(self) -> None:
         """Drop the IP with the smallest |offset| (least information)."""
+        # One pass over items() rather than a per-key lookup: against a
+        # networked store the latter would cost a round trip per IP.
         victim = min(
-            self._states, key=lambda ip: abs(self._states[ip][_OFFSET])
-        )
+            self._states.items(), key=lambda entry: abs(entry[1][_OFFSET])
+        )[0]
         del self._states[victim]
 
     def attach(self, bus: EventBus) -> "FeedbackReputationModel":

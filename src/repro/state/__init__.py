@@ -20,12 +20,23 @@ first-class subsystem:
   shared by the sharded store and the gateway cluster (never Python's
   salted ``hash()``);
 * :mod:`repro.state.snapshot` — JSON snapshot files, plus the
-  merge/split helpers behind ``repro state snapshot``/``restore``.
+  merge/split helpers behind ``repro state snapshot``/``restore``;
+* :mod:`repro.state.net` — the networked backend: a
+  :class:`StateServer` hosting any store over TCP/AF_UNIX, the
+  :class:`RemoteStateStore` client, and the multi-node
+  :class:`MultiNodeStateStore` with live resharding
+  (``repro state serve`` / ``repro state topology``).
 
 Values stored in a namespace must be JSON-safe (numbers, strings,
 booleans, lists of those) so any snapshot round-trips losslessly.
 """
 
+from repro.state.net import (
+    HandoffReport,
+    MultiNodeStateStore,
+    RemoteStateStore,
+    StateServer,
+)
 from repro.state.sharded import ShardedStateStore
 from repro.state.sharding import HashRing, shard_for, stable_hash
 from repro.state.snapshot import (
@@ -51,6 +62,10 @@ __all__ = [
     "InMemoryStateStore",
     "StateNamespace",
     "ShardedStateStore",
+    "StateServer",
+    "RemoteStateStore",
+    "MultiNodeStateStore",
+    "HandoffReport",
     "HashRing",
     "shard_for",
     "stable_hash",

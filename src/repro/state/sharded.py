@@ -173,6 +173,15 @@ class ShardedStateStore(AdmissionStateStore):
 
     def restore(self, snapshot: dict) -> None:
         check_snapshot(snapshot, kind="sharded")
+        recorded = snapshot.get("replicas")
+        if recorded is not None and int(recorded) != self.ring.replicas:
+            # Loading positionally into a differently-shaped ring would
+            # park keys on shards where lookups never find them.
+            raise ValueError(
+                f"snapshot was split with replicas={recorded}, store ring "
+                f"has replicas={self.ring.replicas}; re-split it with "
+                "repro.state.snapshot.split_snapshot / `repro state restore`"
+            )
         shards = snapshot.get("shards", [])
         if len(shards) != len(self.stores):
             raise ValueError(

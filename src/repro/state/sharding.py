@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import threading
+from collections import OrderedDict
 
 __all__ = ["stable_hash", "HashRing", "shard_for"]
 
@@ -71,12 +73,32 @@ class HashRing:
 
 
 #: Ring cache: the gateway router and every worker build the same ring.
-_RING_CACHE: dict[tuple[int, int], HashRing] = {}
+#: Bounded LRU — the networked store builds a ring per topology change,
+#: so an unbounded cache would leak one ring per epoch forever.
+_RING_CACHE: OrderedDict[tuple[int, int], HashRing] = OrderedDict()
+_RING_CACHE_LIMIT = 32
+_RING_CACHE_LOCK = threading.Lock()
+
+
+def _ring_for(shards: int, replicas: int) -> HashRing:
+    """Get-or-create a memoised ring, race-safe and LRU-bounded."""
+    shape = (shards, replicas)
+    with _RING_CACHE_LOCK:
+        ring = _RING_CACHE.get(shape)
+        if ring is not None:
+            _RING_CACHE.move_to_end(shape)
+            return ring
+    # Build outside the lock: ring construction is the expensive part
+    # and two racing builders produce identical rings anyway.
+    ring = HashRing(shards, replicas)
+    with _RING_CACHE_LOCK:
+        ring = _RING_CACHE.setdefault(shape, ring)
+        _RING_CACHE.move_to_end(shape)
+        while len(_RING_CACHE) > _RING_CACHE_LIMIT:
+            _RING_CACHE.popitem(last=False)
+    return ring
 
 
 def shard_for(key: str, shards: int, replicas: int = 64) -> int:
     """Module-level routing helper with a memoised ring per shape."""
-    ring = _RING_CACHE.get((shards, replicas))
-    if ring is None:
-        ring = _RING_CACHE[(shards, replicas)] = HashRing(shards, replicas)
-    return ring.shard_for(key)
+    return _ring_for(shards, replicas).shard_for(key)

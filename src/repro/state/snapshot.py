@@ -174,7 +174,24 @@ def state_dir_topology(state_dir) -> int | None:
     return counts.pop()
 
 
-def write_shard_file(state_dir, shard: int, shards: int, snapshot: dict) -> pathlib.Path:
+def _check_shard_file_replicas(document: dict, replicas: int, path) -> None:
+    """Fail loudly when a shard file was split with a different ring.
+
+    Files written before ``replicas`` was recorded are treated as the
+    historical default (64) — the only ring shape that ever produced
+    them.
+    """
+    recorded = int(document.get("replicas", 64))
+    if recorded != replicas:
+        raise ValueError(
+            f"{path} was split with replicas={recorded}, need "
+            f"replicas={replicas}; re-split with `repro state restore`"
+        )
+
+
+def write_shard_file(
+    state_dir, shard: int, shards: int, snapshot: dict, replicas: int = 64
+) -> pathlib.Path:
     """Write one shard's memory snapshot into ``state_dir``.
 
     This is what a gateway worker calls at graceful shutdown — each
@@ -199,6 +216,7 @@ def write_shard_file(state_dir, shard: int, shards: int, snapshot: dict) -> path
             "kind": "shard-file",
             "shard": shard,
             "shards": shards,
+            "replicas": replicas,
             "state": snapshot,
         },
         path,
@@ -206,7 +224,7 @@ def write_shard_file(state_dir, shard: int, shards: int, snapshot: dict) -> path
     return path
 
 
-def write_shard_files(state_dir, snapshots) -> list[pathlib.Path]:
+def write_shard_files(state_dir, snapshots, replicas: int = 64) -> list[pathlib.Path]:
     """Write per-shard memory snapshots into ``state_dir``.
 
     Stale shard files from a *different* topology are removed so a
@@ -216,12 +234,14 @@ def write_shard_files(state_dir, snapshots) -> list[pathlib.Path]:
     snapshots = list(snapshots)
     shards = len(snapshots)
     return [
-        write_shard_file(directory, index, shards, snapshot)
+        write_shard_file(directory, index, shards, snapshot, replicas=replicas)
         for index, snapshot in enumerate(snapshots)
     ]
 
 
-def read_shard_file(state_dir, shard: int, shards: int) -> dict | None:
+def read_shard_file(
+    state_dir, shard: int, shards: int, replicas: int = 64
+) -> dict | None:
     """One shard's memory snapshot from ``state_dir``, or None if cold.
 
     The directory must have been split for this worker count; a
@@ -247,10 +267,13 @@ def read_shard_file(state_dir, shard: int, shards: int) -> dict | None:
             f"{path} holds shard {document['shard']} of "
             f"{document['shards']}, expected {shard} of {shards}"
         )
+    _check_shard_file_replicas(document, replicas, path)
     return check_snapshot(document["state"], kind="memory")
 
 
-def read_shard_files(state_dir, shards: int | None = None) -> list[dict]:
+def read_shard_files(
+    state_dir, shards: int | None = None, replicas: int | None = None
+) -> list[dict]:
     """Read a state directory back into per-shard memory snapshots.
 
     Returns an empty list when the directory has no shard files (a
@@ -287,7 +310,9 @@ def read_shard_files(state_dir, shards: int | None = None) -> list[dict]:
             f"{total}-shard topology"
         )
     ordered: list[dict] = [dict()] * total
-    for document in documents:
+    for document, path in zip(documents, found):
+        if replicas is not None:
+            _check_shard_file_replicas(document, replicas, path)
         index = int(document["shard"])
         if not 0 <= index < total:
             raise ValueError(f"shard index {index} out of range 0..{total - 1}")

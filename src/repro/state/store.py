@@ -160,12 +160,17 @@ class InMemoryStateStore(AdmissionStateStore):
         return sum(len(table) for table in self._namespaces.values())
 
     def snapshot(self) -> dict:
+        # Empty tables are omitted: ``clear()`` keeps namespaces
+        # registered (components hold them by reference), so including
+        # them would make snapshot -> restore -> snapshot non-idempotent
+        # — a cleared store and a fresh restore target would disagree.
         return {
             "format": SNAPSHOT_FORMAT,
             "kind": "memory",
             "namespaces": {
                 name: table.dump()
                 for name, table in self._namespaces.items()
+                if len(table)
             },
         }
 

@@ -427,3 +427,64 @@ class TestClusterTelemetry:
             assert result.ok
         assert cluster.exit_codes == [0]
         assert cluster.trace_spans == []
+
+
+@pytest.mark.slow
+class TestClusterOverStateServer:
+    def test_state_lives_on_the_server_and_survives_workers(
+        self, examples
+    ):
+        from repro.state import StateServer
+
+        ips = [f"127.0.0.{i}" for i in range(1, 5)]
+        features = dict(examples[0].features)
+        with StateServer() as state:
+            with GatewayCluster(
+                SPEC,
+                workers=2,
+                state_server=state.address,
+                shed_policy="drop-global-reputation",
+            ) as cluster:
+                for ip in ips:
+                    result = LiveClient(
+                        cluster.address, source_ip=ip
+                    ).fetch("/index.html", features)
+                    assert result.ok, result
+            assert cluster.exit_codes == [0, 0]
+
+            # Every served exchange banked its reward on the shared
+            # store — no shard files, no worker-local state.
+            table = state.store.namespace("feedback")
+            for ip in ips:
+                assert table.get(ip)[0] == pytest.approx(-0.1)
+
+            # A fresh cluster boots warm from the same server: the
+            # offsets keep accumulating across worker generations.
+            with GatewayCluster(
+                SPEC, workers=2, state_server=state.address
+            ) as cluster:
+                for ip in ips:
+                    result = LiveClient(
+                        cluster.address, source_ip=ip
+                    ).fetch("/index.html", features)
+                    assert result.ok, result
+            assert cluster.exit_codes == [0, 0]
+            for ip in ips:
+                assert state.store.get("feedback", ip)[0] == (
+                    pytest.approx(-0.2)
+                )
+
+    def test_global_reputation_shedding_requires_a_store(self):
+        with pytest.raises(ValueError, match="state-server"):
+            GatewayCluster(
+                SPEC, workers=2, shed_policy="drop-global-reputation"
+            )
+
+    def test_state_dir_and_state_server_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="exclusive"):
+            GatewayCluster(
+                SPEC,
+                workers=2,
+                state_dir=tmp_path,
+                state_server="127.0.0.1:9999",
+            )

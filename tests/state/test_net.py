@@ -1,0 +1,631 @@
+"""Tests for the networked admission state store.
+
+Covers the wire protocol, the server's op surface, the client's retry
+and idempotency envelope (via the server's fault hook), snapshot-backed
+restarts, multi-node placement, and live resharding handoffs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state import (
+    InMemoryStateStore,
+    MultiNodeStateStore,
+    RemoteStateStore,
+    ShardedStateStore,
+    StateServer,
+)
+from repro.state import protocol
+from repro.state.net import _DropConnection
+
+
+@pytest.fixture()
+def server():
+    with StateServer() as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    store = RemoteStateStore(
+        server.address, retries=2, retry_base=0.01, retry_cap=0.05
+    )
+    yield store
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"op": "put", "ns": "feedback", "value": [1.5, 2.0]}
+            protocol.write_frame(left, message)
+            assert protocol.read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_between_frames_reads_none(self):
+        left, right = socket.socketpair()
+        try:
+            protocol.write_frame(left, {"op": "ping"})
+            left.close()
+            assert protocol.read_frame(right) == {"op": "ping"}
+            assert protocol.read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_is_a_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"op": "ping"})
+            left.sendall(frame[: len(frame) - 2])  # truncate the body
+            left.close()
+            with pytest.raises(ConnectionError):
+                protocol.read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_rejected_without_reading_it(self):
+        left, right = socket.socketpair()
+        try:
+            length = protocol.MAX_FRAME_BYTES + 1
+            left.sendall(length.to_bytes(4, "big"))
+            with pytest.raises(protocol.FrameTooLarge):
+                protocol.read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_parse_address_variants(self):
+        family, sockaddr = protocol.parse_address("127.0.0.1:8377")
+        assert family == socket.AF_INET
+        assert sockaddr == ("127.0.0.1", 8377)
+        family, sockaddr = protocol.parse_address("unix:/tmp/state.sock")
+        assert family == socket.AF_UNIX
+        assert sockaddr == "/tmp/state.sock"
+        for bad in ("nope", "host:", ":123", "host:notaport"):
+            with pytest.raises(ValueError):
+                protocol.parse_address(bad)
+
+    def test_op_classification_is_total_and_disjoint(self):
+        overlap = protocol.IDEMPOTENT_OPS & protocol.NON_IDEMPOTENT_OPS
+        assert not overlap
+        # Every server op handler is classified one way or the other.
+        ops = {
+            name[len("_op_"):]
+            for name in dir(StateServer)
+            if name.startswith("_op_")
+        }
+        classified = protocol.IDEMPOTENT_OPS | protocol.NON_IDEMPOTENT_OPS
+        assert ops <= classified
+
+
+# ----------------------------------------------------------------------
+# Server op surface through the client
+# ----------------------------------------------------------------------
+class TestRemoteStoreSurface:
+    def test_keyed_namespace_operations(self, client):
+        table = client.namespace("feedback")
+        table["1.2.3.4"] = [0.5, 10.0]
+        assert "1.2.3.4" in table
+        assert table["1.2.3.4"] == [0.5, 10.0]
+        assert table.get("missing") is None
+        assert table.get("missing", "fallback") == "fallback"
+        assert len(table) == 1
+        del table["1.2.3.4"]
+        assert len(table) == 0
+        with pytest.raises(KeyError):
+            table["missing"]
+        with pytest.raises(KeyError):
+            del table["missing"]
+
+    def test_pop_setdefault_and_lru_ops(self, client):
+        table = client.namespace("cache")
+        for key in ("a", "b", "c"):
+            table[key] = [float(ord(key)), 0.0]
+        assert table.pop("b") == [98.0, 0.0]
+        assert table.pop("b", "default") == "default"
+        with pytest.raises(KeyError):
+            table.pop("b")
+        assert table.setdefault("a", "ignored") == [97.0, 0.0]
+        assert table.setdefault("fresh", 7.0) == 7.0
+        table.move_to_end("a")
+        assert list(table) == ["c", "fresh", "a"]
+        key, value = table.popitem(last=False)
+        assert (key, value) == ("c", [99.0, 0.0])
+        with pytest.raises(KeyError):
+            client.namespace("empty").popitem()
+
+    def test_iteration_paginates_past_batch_size(self, client):
+        client.batch_size = 16
+        table = client.namespace("replay")
+        expected = []
+        for i in range(50):
+            table[f"seed-{i:03d}"] = float(i)
+            expected.append((f"seed-{i:03d}", float(i)))
+        assert list(table.items()) == expected
+        assert list(table.keys()) == [key for key, _ in expected]
+
+    def test_store_level_surface(self, client, server):
+        client.namespace("a")["k"] = 1.0
+        client.namespace("b")["k"] = 2.0
+        assert client.namespaces() == ("a", "b")
+        assert len(client) == 2
+        snapshot = client.snapshot()
+        client.clear()
+        assert len(client) == 0
+        client.restore(snapshot)
+        assert client.namespace("b")["k"] == 2.0
+        # The remote snapshot is the hosted store's snapshot verbatim.
+        assert snapshot == server.store.snapshot()
+
+    def test_mutators_are_atomic_read_modify_write(self, client):
+        assert client.mutate_remote("load", "n", "add", 3) == 3
+        assert client.mutate_remote("load", "n", "add", 4) == 7
+        assert client.mutate_remote("load", "peak", "max", 5) == 5
+        assert client.mutate_remote("load", "peak", "max", 2) == 5
+        assert client.mutate_remote("load", "log", "append", "x") == ["x"]
+        assert client.mutate_remote("load", "log", "append", "y") == [
+            "x", "y",
+        ]
+        with pytest.raises(ValueError):
+            client.mutate_remote("load", "n", "frobnicate", 1)
+
+    def test_unknown_op_is_a_value_error_answer(self, client):
+        with pytest.raises(ValueError, match="unknown state-server op"):
+            client._request("bogus_op")
+
+    def test_restore_rejects_bad_documents_loudly(self, client):
+        with pytest.raises(ValueError):
+            client.restore({"format": 99, "kind": "memory"})
+
+    def test_concurrent_clients_serialize_per_op(self, server):
+        def worker(index: int) -> None:
+            store = RemoteStateStore(server.address)
+            try:
+                for _ in range(25):
+                    store.mutate_remote("counters", "hits", "add", 1)
+            finally:
+                store.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert server.store.get("counters", "hits") == 100
+
+
+# ----------------------------------------------------------------------
+# Topology epochs
+# ----------------------------------------------------------------------
+class TestTopologyEpochs:
+    def test_every_response_piggybacks_the_epoch(self, client, server):
+        client.ping()
+        assert client.epoch == 0
+        client.set_topology(
+            {"epoch": 3, "nodes": [server.address], "replicas": 64}
+        )
+        client.ping()
+        assert client.epoch == 3
+
+    def test_epoch_change_notifies_subscribers(self, client):
+        seen: list[int] = []
+        client.subscribe_epoch_changes(seen.append)
+        client.ping()
+        client.set_topology({"epoch": 1, "nodes": [], "replicas": 64})
+        client.ping()
+        assert seen == [1]
+
+    def test_stale_topology_rejected(self, client):
+        client.set_topology({"epoch": 5, "nodes": [], "replicas": 64})
+        with pytest.raises(ValueError, match="epoch"):
+            client.set_topology({"epoch": 4, "nodes": [], "replicas": 64})
+
+
+# ----------------------------------------------------------------------
+# Fault injection: the client's retry / idempotency envelope
+# ----------------------------------------------------------------------
+class TestClientFaults:
+    def test_server_down_at_connect_fails_loudly_after_retries(self):
+        # Bind-then-close guarantees a dead port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        store = RemoteStateStore(
+            f"127.0.0.1:{port}",
+            connect_timeout=0.2,
+            retries=2,
+            retry_base=0.01,
+            retry_cap=0.02,
+        )
+        with pytest.raises(ConnectionError, match="after 3 attempts"):
+            store.namespace("feedback").get("ip")
+
+    def test_idempotent_op_survives_one_dropped_connection(
+        self, client, server
+    ):
+        server.store.put("feedback", "ip", [1.0, 2.0])
+        dropped = []
+
+        def hook(op, request):
+            if op == "get" and not dropped:
+                dropped.append(op)
+                raise _DropConnection()
+
+        server._fault_hook = hook
+        response, attempts = client._request(
+            "get", ns="feedback", key="ip"
+        )
+        assert response["value"] == [1.0, 2.0]
+        assert attempts == 2
+        assert dropped == ["get"]
+
+    def test_non_idempotent_op_refuses_to_retry(self, client, server):
+        server.store.put("cache", "a", 1.0)
+
+        def hook(op, request):
+            if op == "popitem":
+                raise _DropConnection()
+
+        server._fault_hook = hook
+        with pytest.raises(ConnectionError, match="not\\s+idempotent"):
+            client.namespace("cache").popitem()
+        # The op never reached the store a second time.
+        assert server.store.get("cache", "a") == 1.0
+
+    def test_timeout_then_retry_succeeds(self, server):
+        client = RemoteStateStore(
+            server.address,
+            request_timeout=0.15,
+            retries=2,
+            retry_base=0.01,
+            retry_cap=0.02,
+        )
+        stalls = []
+
+        def hook(op, request):
+            if op == "contains" and not stalls:
+                stalls.append(op)
+                import time
+
+                time.sleep(0.4)  # > request_timeout: client gives up
+
+        server._fault_hook = hook
+        server.store.put("feedback", "ip", [1.0, 2.0])
+        try:
+            assert "ip" in client.namespace("feedback")
+        finally:
+            client.close()
+        assert stalls == ["contains"]
+
+    def test_exhausted_retries_fail_loudly(self, client, server):
+        def hook(op, request):
+            if op == "len":
+                raise _DropConnection()
+
+        server._fault_hook = hook
+        with pytest.raises(ConnectionError, match="after 3 attempts"):
+            len(client)
+
+
+# ----------------------------------------------------------------------
+# Restart persistence
+# ----------------------------------------------------------------------
+class TestSnapshotRestart:
+    def test_state_survives_a_server_restart(self, tmp_path):
+        path = tmp_path / "state.json"
+        with StateServer(snapshot_path=path) as first:
+            store = RemoteStateStore(first.address)
+            store.namespace("feedback")["1.1.1.1"] = [2.5, 9.0]
+            store.close()
+        assert path.exists()
+        with StateServer(snapshot_path=path) as second:
+            store = RemoteStateStore(second.address)
+            try:
+                assert store.namespace("feedback")["1.1.1.1"] == [2.5, 9.0]
+            finally:
+                store.close()
+
+
+# ----------------------------------------------------------------------
+# Property test: remote and sharded backends mirror the in-memory one
+# ----------------------------------------------------------------------
+_KEYS = st.sampled_from(["a", "b", "c", "d", "e"])
+_VALUES = st.one_of(
+    st.integers(-5, 5),
+    st.floats(-2.0, 2.0, allow_nan=False),
+    st.lists(st.integers(0, 3), max_size=2),
+)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, _VALUES),
+        st.tuples(st.just("get"), _KEYS),
+        st.tuples(st.just("delete"), _KEYS),
+        st.tuples(st.just("pop_default"), _KEYS),
+        st.tuples(st.just("setdefault"), _KEYS, _VALUES),
+        st.tuples(st.just("contains"), _KEYS),
+        st.tuples(st.just("move_to_end"), _KEYS),
+        st.tuples(st.just("len"),),
+    ),
+    max_size=30,
+)
+
+
+def _apply(table, op):
+    """Run one op; return an observable (value or raised-KeyError mark)."""
+    kind, args = op[0], op[1:]
+    try:
+        if kind == "put":
+            table[args[0]] = args[1]
+            return None
+        if kind == "get":
+            return table.get(args[0], "absent")
+        if kind == "delete":
+            del table[args[0]]
+            return "deleted"
+        if kind == "pop_default":
+            return table.pop(args[0], "absent")
+        if kind == "setdefault":
+            return table.setdefault(args[0], args[1])
+        if kind == "contains":
+            return args[0] in table
+        if kind == "move_to_end":
+            table.move_to_end(args[0])
+            return None
+        if kind == "len":
+            return len(table)
+        raise AssertionError(f"unhandled op {kind}")
+    except KeyError:
+        return "KeyError"
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_OPS)
+    def test_op_sequences_agree_across_backends(self, ops):
+        # One server for the whole test run, cleared per example: the
+        # remote store must behave like a dict over the wire.
+        server = _shared_server()
+        server.store.clear()
+        remote = RemoteStateStore(server.address)
+        backends = {
+            "memory": InMemoryStateStore(),
+            "sharded": ShardedStateStore(3),
+            "remote": remote,
+        }
+        try:
+            tables = {
+                name: store.namespace("ns")
+                for name, store in backends.items()
+            }
+            for op in ops:
+                results = {
+                    name: _apply(table, op)
+                    for name, table in tables.items()
+                }
+                assert (
+                    results["sharded"] == results["memory"]
+                ), (op, results)
+                assert (
+                    results["remote"] == results["memory"]
+                ), (op, results)
+            # Terminal state agrees key-for-key (iteration order is an
+            # aggregate property the sharded store does not promise).
+            final = {
+                name: dict(table.items())
+                for name, table in tables.items()
+            }
+            assert final["sharded"] == final["memory"]
+            assert final["remote"] == final["memory"]
+        finally:
+            remote.close()
+
+
+_SHARED_SERVER: list[StateServer] = []
+
+
+def _shared_server() -> StateServer:
+    if not _SHARED_SERVER:
+        _SHARED_SERVER.append(StateServer().start())
+    return _SHARED_SERVER[0]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _stop_shared_server():
+    yield
+    while _SHARED_SERVER:
+        _SHARED_SERVER.pop().stop()
+
+
+# ----------------------------------------------------------------------
+# Multi-node placement + live resharding
+# ----------------------------------------------------------------------
+def _cluster(n):
+    servers = [StateServer().start() for _ in range(n)]
+    store = MultiNodeStateStore([srv.address for srv in servers])
+    return servers, store
+
+
+def _teardown(servers, store):
+    store.close()
+    for server in servers:
+        server.stop()
+
+
+class TestMultiNodeStore:
+    def test_placement_matches_the_sharded_store(self):
+        servers, store = _cluster(3)
+        try:
+            sharded = ShardedStateStore(3)
+            table = store.namespace("feedback")
+            twin = sharded.namespace("feedback")
+            keys = [f"10.0.0.{i}" for i in range(40)]
+            for i, key in enumerate(keys):
+                table[key] = float(i)
+                twin[key] = float(i)
+            for index, server in enumerate(servers):
+                local = dict(
+                    server.store.namespace("feedback").items()
+                )
+                expected = dict(
+                    sharded.stores[index].namespace("feedback").items()
+                )
+                assert local == expected
+            assert len(table) == len(keys)
+            assert dict(table.items()) == dict(twin.items())
+        finally:
+            _teardown(servers, store)
+
+    def test_grow_moves_only_the_ring_delta(self):
+        servers, store = _cluster(2)
+        extra = StateServer().start()
+        try:
+            table = store.namespace("feedback")
+            keys = [f"10.1.0.{i}" for i in range(60)]
+            for i, key in enumerate(keys):
+                table[key] = [float(i), 0.0]
+            before = {
+                key: store.ring.shard_for(key) for key in keys
+            }
+
+            report = store.apply_topology(
+                list(store.addresses) + [extra.address]
+            )
+
+            after = {key: store.ring.shard_for(key) for key in keys}
+            moved = [key for key in keys if before[key] != after[key]]
+            # Only keys whose ring owner changed may move, and every
+            # moved key landed on the new node (appended at ring end).
+            assert report.moved_entries == len(moved)
+            assert all(after[key] == 2 for key in moved)
+            assert report.epoch == 1
+            assert len(report.nodes) == 3
+            # Zero lost, zero misrouted: every key is on its ring owner.
+            for i, key in enumerate(keys):
+                owner_index = after[key]
+                stores = [srv.store for srv in servers] + [extra.store]
+                assert stores[owner_index].get("feedback", key) == [
+                    float(i), 0.0,
+                ], key
+                for other_index, other in enumerate(stores):
+                    if other_index != owner_index:
+                        assert other.get("feedback", key) is None, key
+                assert table[key] == [float(i), 0.0]
+            # Every node (old and new) got the epoch push.
+            for srv in servers + [extra]:
+                assert srv._topology["epoch"] == 1
+        finally:
+            extra.stop()
+            _teardown(servers, store)
+
+    def test_shrink_drains_the_removed_node(self):
+        servers, store = _cluster(3)
+        try:
+            table = store.namespace("feedback")
+            keys = [f"10.2.0.{i}" for i in range(45)]
+            for i, key in enumerate(keys):
+                table[key] = float(i)
+
+            removed = servers[-1]
+            report = store.apply_topology(list(store.addresses)[:-1])
+
+            assert report.epoch == 1
+            assert len(store.nodes) == 2
+            assert len(removed.store) == 0
+            for i, key in enumerate(keys):
+                assert table[key] == float(i)
+            assert len(table) == len(keys)
+        finally:
+            _teardown(servers, store)
+
+    def test_decommission_mid_campaign_preserves_feedback(self):
+        # The kill-a-node drill: a feedback model keeps observing while
+        # a node leaves the ring; offsets must match an in-memory run.
+        from repro.core.records import (
+            ClientRequest,
+            IssuerDecision,
+            ResponseStatus,
+            ServedResponse,
+        )
+        from repro.reputation.ensemble import ConstantModel
+        from repro.reputation.feedback import FeedbackReputationModel
+
+        def exchange(model, ip, when, status):
+            request = ClientRequest(
+                client_ip=ip, resource="/r", timestamp=when, features={}
+            )
+            decision = IssuerDecision(
+                request=request,
+                reputation_score=5.0,
+                difficulty=4,
+                policy_name="p",
+                model_name="m",
+            )
+            model.observe(
+                ServedResponse(
+                    decision=decision, status=status, latency=0.001
+                ),
+                now=when,
+            )
+
+        servers, store = _cluster(3)
+        try:
+            live = FeedbackReputationModel(
+                ConstantModel(5.0), store=store
+            )
+            control = FeedbackReputationModel(ConstantModel(5.0))
+            ips = [f"10.3.0.{i}" for i in range(12)]
+            statuses = [
+                ResponseStatus.SERVED, ResponseStatus.REJECTED,
+                ResponseStatus.SERVED, ResponseStatus.REPLAYED,
+            ]
+            clock = 1_000.0
+            for round_index in range(2):
+                for i, ip in enumerate(ips):
+                    status = statuses[(i + round_index) % len(statuses)]
+                    exchange(live, ip, clock, status)
+                    exchange(control, ip, clock, status)
+                    clock += 1.0
+
+            store.apply_topology(list(store.addresses)[:-1])
+
+            for round_index in range(2):
+                for i, ip in enumerate(ips):
+                    status = statuses[(i + round_index + 1) % len(statuses)]
+                    exchange(live, ip, clock, status)
+                    exchange(control, ip, clock, status)
+                    clock += 1.0
+
+            for ip in ips:
+                assert live.offset_for(ip, now=clock) == pytest.approx(
+                    control.offset_for(ip, now=clock)
+                )
+            assert live.tracked_ips == control.tracked_ips
+        finally:
+            _teardown(servers, store)
+
+    def test_apply_topology_rejects_nonsense(self):
+        servers, store = _cluster(2)
+        try:
+            with pytest.raises(ValueError):
+                store.apply_topology([])
+            with pytest.raises(ValueError):
+                store.apply_topology(
+                    [store.addresses[0], store.addresses[0]]
+                )
+        finally:
+            _teardown(servers, store)

@@ -228,3 +228,77 @@ class TestShardFiles:
         write_shard_file(tmp_path, 0, 2, flat.snapshot())
         names = sorted(p.name for p in tmp_path.glob("*.json"))
         assert names == ["shard-0-of-2.json"]
+
+
+class TestReplicasValidation:
+    def test_restore_rejects_replicas_mismatch(self):
+        # A snapshot taken under one ring must not be restored under
+        # another: the same shard count with different virtual-node
+        # counts routes keys differently, silently misplacing state.
+        donor = ShardedStateStore(3, replicas=32)
+        donor.put("feedback", "10.0.0.1", [1.0, 0.0])
+        snapshot = json.loads(json.dumps(donor.snapshot()))
+        with pytest.raises(ValueError, match="replicas"):
+            ShardedStateStore(3, replicas=64).restore(snapshot)
+        # Matching ring restores fine.
+        ShardedStateStore(3, replicas=32).restore(snapshot)
+
+    def test_legacy_snapshot_without_replicas_still_restores(self):
+        donor = ShardedStateStore(2)
+        donor.put("feedback", "10.0.0.1", [1.0, 0.0])
+        snapshot = json.loads(json.dumps(donor.snapshot()))
+        del snapshot["replicas"]
+        clone = ShardedStateStore(2)
+        clone.restore(snapshot)
+        assert clone.get("feedback", "10.0.0.1") == [1.0, 0.0]
+
+    def test_shard_files_record_and_enforce_replicas(self, tmp_path):
+        flat = InMemoryStateStore()
+        for i in range(10):
+            flat.put("feedback", f"10.5.0.{i}", [float(i), 0.0])
+        parts = split_snapshot(flat.snapshot(), 2, 32)
+        write_shard_files(tmp_path, parts, replicas=32)
+        with pytest.raises(ValueError, match="replicas"):
+            read_shard_files(tmp_path, shards=2, replicas=64)
+        assert read_shard_files(tmp_path, shards=2, replicas=32) == parts
+
+
+class TestRingCache:
+    def test_cache_is_bounded(self):
+        from repro.state import sharding
+
+        with sharding._RING_CACHE_LOCK:
+            sharding._RING_CACHE.clear()
+        for shards in range(2, 2 + sharding._RING_CACHE_LIMIT * 2):
+            shard_for("key", shards, 64)
+        assert len(sharding._RING_CACHE) <= sharding._RING_CACHE_LIMIT
+
+    def test_cache_hits_return_the_same_ring(self):
+        from repro.state import sharding
+
+        first = sharding._ring_for(5, 64)
+        assert sharding._ring_for(5, 64) is first
+
+    def test_cache_is_race_safe_under_concurrent_builds(self):
+        import threading
+
+        from repro.state import sharding
+
+        with sharding._RING_CACHE_LOCK:
+            sharding._RING_CACHE.clear()
+        results: list[list[int]] = [[] for _ in range(8)]
+
+        def worker(bucket: list[int]) -> None:
+            for shards in range(2, 40):
+                bucket.append(shard_for("10.0.0.1", shards, 64))
+
+        threads = [
+            threading.Thread(target=worker, args=(bucket,))
+            for bucket in results
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Deterministic routing regardless of which thread built a ring.
+        assert all(bucket == results[0] for bucket in results)

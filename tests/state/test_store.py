@@ -135,3 +135,28 @@ class TestSnapshotFiles:
         assert len(restored.namespace("feedback")) == 50
         assert restored.get("feedback", "10.0.0.7") == [7.0, 0.0]
         assert restored.get("replay", "seed-7") == 7.0
+
+
+class TestSnapshotAfterClear:
+    def test_clear_then_snapshot_roundtrip_is_idempotent(self):
+        # clear() keeps emptied namespaces registered (live references
+        # must survive), but snapshots omit empty tables so that
+        # snapshot -> restore -> snapshot is a fixed point.
+        store = InMemoryStateStore()
+        store.put("feedback", "ip", [1.0, 0.0])
+        store.clear()
+        snapshot = store.snapshot()
+        assert snapshot["namespaces"] == {}
+
+        clone = InMemoryStateStore()
+        clone.restore(snapshot)
+        assert clone.snapshot() == snapshot
+
+    def test_emptied_namespace_stays_usable_but_unsnapshotted(self):
+        store = InMemoryStateStore()
+        table = store.namespace("cache")
+        table["k"] = 1.0
+        table.clear()
+        assert store.snapshot()["namespaces"] == {}
+        table["k2"] = 2.0
+        assert store.snapshot()["namespaces"] == {"cache": [["k2", 2.0]]}

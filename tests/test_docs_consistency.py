@@ -136,11 +136,15 @@ class TestDesignDoc:
         from repro.bench.runner import EXPERIMENTS
 
         design = read("DESIGN.md")
+        # Scope to the §4 experiment index: metric names elsewhere in
+        # the document may share a prefix (e.g. `netstore_*`).
+        section = design.split("## 4. Experiments", 1)[1]
+        section = section.split("\n## ", 1)[0]
         promised = set(
             re.findall(
                 r"\| `((?:fig|cal|acc|thr|abl|ons|mega|net|par|ker)"
                 r"[\w-]*)` \|",
-                design,
+                section,
             )
         )
         assert promised, "DESIGN.md should promise experiment ids"

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""CI smoke: the networked admission state store's operational story.
+
+Exercises ``repro state serve`` + ``repro serve --state-server`` the
+way an operator would, end to end:
+
+1. boot a snapshot-backed state server (``repro state serve``);
+2. boot a 2-worker cluster whose admission state lives on that server
+   (``repro serve --workers 2 --state-server``), with the
+   cluster-global shed policy enabled;
+3. run one full request → puzzle → solve → redeem round-trip with an
+   unmodified :class:`~repro.net.live.client.LiveClient`; SIGTERM the
+   cluster and require exit 0;
+4. SIGTERM the state server (writes its snapshot), boot a *fresh*
+   state server on the same snapshot, and check the served client's
+   warmed feedback offset survived the restart;
+5. boot the cluster again against the new server, round-trip once
+   more, and require the offset to have kept accumulating — reputation
+   is durable across both worker and state-server restarts.
+
+Exits non-zero on any failure, so it can gate CI directly:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python tools/netstore_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import queue
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+STARTUP_TIMEOUT = 180.0
+SHUTDOWN_TIMEOUT = 60.0
+
+
+class ForegroundProcess:
+    """One foreground ``repro`` subcommand with banner/exit handling."""
+
+    def __init__(self, argv: list[str], banner: str) -> None:
+        self.banner = banner
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *argv],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: queue.Queue = queue.Queue()
+        threading.Thread(target=self._pump, daemon=True).start()
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            self.lines.put(line)
+        self.lines.put(None)
+
+    def wait_address(self) -> str:
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"no banner within {STARTUP_TIMEOUT:.0f}s"
+                )
+            try:
+                line = self.lines.get(timeout=remaining)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"no banner within {STARTUP_TIMEOUT:.0f}s"
+                ) from None
+            if line is None:
+                raise RuntimeError(
+                    f"process exited before banner: {self.proc.poll()}"
+                )
+            print("proc:", line, end="")
+            if self.banner in line:
+                return line.split(" on ", 1)[1].split()[0]
+
+    def terminate(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        while True:
+            line = self.lines.get()
+            if line is None:
+                break
+            print("proc:", line, end="")
+        return code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def state_server(snapshot: pathlib.Path) -> ForegroundProcess:
+    return ForegroundProcess(
+        ["state", "serve", "--bind", "127.0.0.1:0",
+         "--snapshot", str(snapshot)],
+        banner="serving admission state on ",
+    )
+
+
+def cluster(state_address: str) -> ForegroundProcess:
+    return ForegroundProcess(
+        ["serve", "--workers", "2", "--port", "0",
+         "--policy", "policy-1",
+         "--state-server", state_address,
+         "--shed-policy", "drop-global-reputation"],
+        banner="serving AI-assisted PoW on ",
+    )
+
+
+def round_trip(address: str) -> None:
+    from repro.net.live.client import LiveClient
+    from repro.reputation.features import FEATURE_NAMES
+
+    host, port = address.rsplit(":", 1)
+    features = {name: 0.0 for name in FEATURE_NAMES}
+    result = LiveClient((host, int(port))).fetch("/healthz", features)
+    print(
+        f"round-trip: ok={result.ok} difficulty={result.difficulty} "
+        f"attempts={result.attempts} latency={result.latency:.3f}s"
+    )
+    if not result.ok or result.body != "resource:/healthz":
+        raise RuntimeError(f"round-trip failed: {result}")
+
+
+def warmed_offset(state_address: str, ip: str):
+    from repro.state import RemoteStateStore
+
+    store = RemoteStateStore(state_address)
+    try:
+        state = store.namespace("feedback").get(ip)
+    finally:
+        store.close()
+    return None if state is None else state[0]
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    with tempfile.TemporaryDirectory(prefix="netstore-smoke-") as tmp:
+        snapshot = pathlib.Path(tmp) / "state.json"
+
+        # Run 1: state server + cluster, one exchange.
+        state = state_server(snapshot)
+        try:
+            state_address = state.wait_address()
+            workers = cluster(state_address)
+            try:
+                round_trip(workers.wait_address())
+                code = workers.terminate()
+                print("cluster exited with", code)
+                if code != 0:
+                    return 1
+            finally:
+                workers.kill()
+            first = warmed_offset(state_address, "127.0.0.1")
+            print("warmed offset on state server:", first)
+            if first is None or first >= 0:
+                print("served exchange should have earned a negative "
+                      "offset on the shared store")
+                return 1
+            code = state.terminate()
+            print("state server exited with", code)
+            if code != 0:
+                return 1
+        finally:
+            state.kill()
+
+        if not snapshot.exists():
+            print("state server should have written its snapshot")
+            return 1
+
+        # Run 2: fresh state server on the same snapshot, fresh cluster.
+        state = state_server(snapshot)
+        try:
+            state_address = state.wait_address()
+            restored = warmed_offset(state_address, "127.0.0.1")
+            print("offset after state-server restart:", restored)
+            if restored != first:
+                print("warmed offset should survive the restart")
+                return 1
+            workers = cluster(state_address)
+            try:
+                round_trip(workers.wait_address())
+                code = workers.terminate()
+                print("cluster exited with", code)
+                if code != 0:
+                    return 1
+            finally:
+                workers.kill()
+            second = warmed_offset(state_address, "127.0.0.1")
+            print("offset after second run:", second)
+            if second is None or not second < first:
+                print("offset should keep accumulating across restarts")
+                return 1
+            code = state.terminate()
+            print("state server exited with", code)
+            if code != 0:
+                return 1
+        finally:
+            state.kill()
+
+    print("netstore smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
